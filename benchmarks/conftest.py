@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation the paper motivates), prints the rows/series it produced, and
+saves the same text under ``benchmarks/results/`` so the numbers recorded
+in EXPERIMENTS.md can be re-derived.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.gpu import GPU, fermi_gf100
+from repro.workloads import BFSWorkload
+
+#: Where benchmark output tables are written.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Problem size for the Figure 1 / Figure 2 BFS run: the graph (CSR arrays
+#: plus the level array) is ~2.5x the aggregate L2 capacity of the GF100
+#: configuration, so a realistic share of traffic reaches DRAM.
+FIG_BFS_NODES = 4096
+FIG_BFS_DEGREE = 8
+
+#: Problem size for the ablation BFS runs (smaller: several are compared).
+ABLATION_BFS_NODES = 2048
+ABLATION_BFS_DEGREE = 8
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Print a result table and persist it under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def sum_stat(stats: dict, suffix: str) -> float:
+    """Sum every counter whose (component-prefixed) name ends with ``suffix``."""
+    return sum(value for key, value in stats.items() if key.endswith(suffix))
+
+
+def run_bfs(config, num_nodes: int, avg_degree: int, seed: int = 13):
+    """Run BFS to completion on a fresh GPU; returns (gpu, workload, results)."""
+    gpu = GPU(config)
+    workload = BFSWorkload(num_nodes=num_nodes, avg_degree=avg_degree,
+                           block_dim=128, seed=seed)
+    results = workload.run(gpu)
+    assert workload.verify(gpu), "BFS verification failed"
+    return gpu, workload, results
+
+
+@pytest.fixture(scope="session")
+def bfs_gf100_run():
+    """The shared BFS run behind the Figure 1 and Figure 2 benchmarks."""
+    return run_bfs(fermi_gf100(), FIG_BFS_NODES, FIG_BFS_DEGREE)

@@ -1,0 +1,103 @@
+"""Ablation A1 — DRAM scheduling policy (FR-FCFS vs FCFS).
+
+Section III of the paper observes that long-latency requests "spend a
+significant amount of time waiting to be selected for DRAM access,
+indicating that request latency could potentially be reduced through usage
+of a different DRAM scheduling algorithm".  This ablation runs the same BFS
+workload under the out-of-order FR-FCFS scheduler and the in-order FCFS
+scheduler and reports how the row-buffer hit rate, the time requests spend
+waiting for the DRAM scheduler, and overall runtime respond.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import (
+    FIG_BFS_DEGREE,
+    FIG_BFS_NODES,
+    run_bfs,
+    save_and_print,
+    sum_stat,
+)
+from repro.analysis import comparison_table
+from repro.core.breakdown import breakdown_from_tracker
+from repro.core.stages import Event, Stage
+from repro.gpu import fermi_gf100
+
+
+def config_with_scheduler(scheduler: str):
+    base = fermi_gf100()
+    dram = dataclasses.replace(base.partition.dram, scheduler=scheduler)
+    partition = dataclasses.replace(base.partition, dram=dram)
+    return base.replace(partition=partition)
+
+
+def measure(scheduler: str):
+    # The DRAM scheduler only matters under DRAM pressure, so this ablation
+    # uses the larger (L2-exceeding) graph of the Figure 1/2 experiments.
+    gpu, workload, results = run_bfs(config_with_scheduler(scheduler),
+                                     FIG_BFS_NODES, FIG_BFS_DEGREE)
+    stats = gpu.collect_stats().as_dict()
+    row_hits = sum_stat(stats, "row_hits")
+    row_misses = sum_stat(stats, "row_closed") + sum_stat(stats, "row_conflicts")
+    breakdown = breakdown_from_tracker(gpu.tracker, num_buckets=24)
+    fractions = breakdown.stage_fractions()
+    reads = gpu.tracker.read_requests()
+    dram_reads = [r for r in reads if Event.DRAM_DATA in r.timestamps]
+    mean_dram_latency = (sum(r.latency for r in dram_reads) / len(dram_reads)
+                         if dram_reads else 0.0)
+    return {
+        "scheduler": scheduler,
+        "cycles": sum(r.cycles for r in results),
+        "row_hit_rate": row_hits / max(row_hits + row_misses, 1),
+        "dram_sched_wait_share": fractions[Stage.DRAM_Q_TO_SCH],
+        "mean_dram_read_latency": mean_dram_latency,
+        "dram_reads": len(dram_reads),
+    }
+
+
+@pytest.mark.benchmark(group="ablation-dram-scheduler")
+def test_ablation_dram_scheduler(benchmark):
+    def run_both():
+        return [measure("frfcfs"), measure("fcfs")]
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    formatted = [
+        {
+            "scheduler": row["scheduler"],
+            "cycles": row["cycles"],
+            "row_hit_rate": f"{row['row_hit_rate']:.3f}",
+            "DRAM(QtoSch) share": f"{row['dram_sched_wait_share']:.4f}",
+            "mean DRAM-read latency": f"{row['mean_dram_read_latency']:.1f}",
+            "DRAM reads": row["dram_reads"],
+        }
+        for row in rows
+    ]
+    save_and_print(
+        "ablation_dram_scheduler",
+        comparison_table(
+            "BFS on GF100-like configuration: DRAM scheduler ablation",
+            formatted,
+            ["scheduler", "cycles", "row_hit_rate", "DRAM(QtoSch) share",
+             "mean DRAM-read latency", "DRAM reads"],
+        ),
+    )
+
+    frfcfs, fcfs = rows
+    # Both runs see substantial DRAM traffic and finish in the same ballpark
+    # (the scheduling policy shifts latency, it does not break the run).
+    assert frfcfs["dram_reads"] > 200 and fcfs["dram_reads"] > 200
+    assert frfcfs["cycles"] < 2 * fcfs["cycles"]
+    assert fcfs["cycles"] < 2 * frfcfs["cycles"]
+    # BFS's DRAM traffic has limited row locality, so the two policies end
+    # up with similar (and substantial) row-hit rates.  The simulation is
+    # closed-loop — the policies see slightly different request streams —
+    # so neither is asserted to dominate; the point of the ablation is the
+    # reported comparison.
+    assert frfcfs["row_hit_rate"] > 0.3 and fcfs["row_hit_rate"] > 0.3
+    assert abs(frfcfs["row_hit_rate"] - fcfs["row_hit_rate"]) < 0.2
+    # The DRAM-scheduler wait the paper points at is visible under both
+    # policies (non-zero share of total fetch lifetime).
+    assert frfcfs["dram_sched_wait_share"] > 0
+    assert fcfs["dram_sched_wait_share"] > 0

@@ -1,0 +1,79 @@
+"""Dynamic latency analysis: Figures 1 and 2 for a BFS run.
+
+This example reruns the paper's Section III study on the GF100-like
+configuration: a breadth-first search over a random graph, followed by
+
+* the per-bucket breakdown of memory-fetch lifetimes into pipeline stages
+  (Figure 1), rendered as a table and an ASCII stacked chart, and
+* the exposed-vs-hidden classification of global-load latency (Figure 2).
+
+Run with::
+
+    python examples/bfs_latency_breakdown.py                  # paper-sized
+    python examples/bfs_latency_breakdown.py --nodes 1024     # faster
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import GPU, BFSWorkload, fermi_gf100
+from repro.analysis import breakdown_chart, exposure_chart
+from repro.core.breakdown import breakdown_from_tracker
+from repro.core.exposure import compute_exposure
+from repro.core.stages import STAGE_ORDER
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=4096,
+                        help="graph size (default 4096: ~2.5x the L2)")
+    parser.add_argument("--degree", type=int, default=8,
+                        help="average out-degree of the random graph")
+    parser.add_argument("--buckets", type=int, default=24,
+                        help="number of latency buckets to report")
+    args = parser.parse_args()
+
+    gpu = GPU(fermi_gf100())
+    bfs = BFSWorkload(num_nodes=args.nodes, avg_degree=args.degree,
+                      block_dim=128)
+    print(f"running BFS over {bfs.graph.num_nodes} nodes / "
+          f"{bfs.graph.num_edges} edges on {gpu.config.name!r} ...")
+    results = bfs.run(gpu)
+    assert bfs.verify(gpu), "BFS produced wrong levels"
+    print(f"finished in {bfs.levels_run} level-synchronous steps, "
+          f"{sum(r.cycles for r in results)} cycles total")
+    print()
+
+    print("=" * 72)
+    print("Figure 1: breakdown of memory-fetch latency into pipeline stages")
+    print("=" * 72)
+    figure1 = breakdown_from_tracker(gpu.tracker, num_buckets=args.buckets)
+    print(f"tracked fetches: {figure1.total_requests}")
+    print()
+    print(figure1.format_table())
+    print()
+    print(breakdown_chart(figure1, width=50))
+    print()
+    print("lifetime share per stage (all fetches):")
+    for stage in STAGE_ORDER:
+        share = figure1.stage_fractions()[stage]
+        print(f"  {stage.value:15s} {share * 100:5.1f}%")
+    print()
+
+    print("=" * 72)
+    print("Figure 2: exposed vs hidden global-load latency")
+    print("=" * 72)
+    figure2 = compute_exposure(gpu.tracker, num_buckets=args.buckets)
+    print(f"global loads tracked: {figure2.total_loads}")
+    print(f"overall exposed fraction: {figure2.overall_exposed_fraction:.3f}")
+    print("loads with more than half their latency exposed: "
+          f"{figure2.fraction_of_loads_mostly_exposed(50.0) * 100:.1f}%")
+    print()
+    print(figure2.format_table())
+    print()
+    print(exposure_chart(figure2, width=50))
+
+
+if __name__ == "__main__":
+    main()

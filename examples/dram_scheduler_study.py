@@ -1,0 +1,103 @@
+"""Design-space study: DRAM scheduling, warp scheduling, and the L1 policy.
+
+The paper's dynamic analysis points at queueing and arbitration as the key
+latency contributors and at the generational L1 policy changes as the key
+static-latency regression.  This example sweeps those three design axes on
+the same BFS workload and prints one comparison table per axis — the kind
+of what-if study the simulator substrate makes cheap.
+
+Run with::
+
+    python examples/dram_scheduler_study.py
+    python examples/dram_scheduler_study.py --nodes 1024   # faster
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro import GPU, BFSWorkload, fermi_gf100
+from repro.analysis import comparison_table
+from repro.core.exposure import compute_exposure
+
+
+def run_bfs(config, nodes, degree):
+    gpu = GPU(config)
+    bfs = BFSWorkload(num_nodes=nodes, avg_degree=degree, block_dim=128)
+    results = bfs.run(gpu)
+    assert bfs.verify(gpu)
+    loads = gpu.tracker.global_loads()
+    exposure = compute_exposure(gpu.tracker, num_buckets=16)
+    return {
+        "cycles": sum(r.cycles for r in results),
+        "mean load latency": round(sum(l.latency for l in loads) / len(loads), 1),
+        "exposed fraction": round(exposure.overall_exposed_fraction, 3),
+    }
+
+
+def with_dram_scheduler(config, scheduler):
+    dram = dataclasses.replace(config.partition.dram, scheduler=scheduler)
+    return config.replace(
+        partition=dataclasses.replace(config.partition, dram=dram)
+    )
+
+
+def with_warp_scheduler(config, scheduler):
+    return config.replace(
+        core=dataclasses.replace(config.core, warp_scheduler=scheduler)
+    )
+
+
+def with_l1_policy(config, enabled, cache_global):
+    l1 = dataclasses.replace(config.core.l1, enabled=enabled,
+                             cache_global=cache_global)
+    return config.replace(core=dataclasses.replace(config.core, l1=l1))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=2048)
+    parser.add_argument("--degree", type=int, default=8)
+    args = parser.parse_args()
+    base = fermi_gf100()
+
+    rows = []
+    for scheduler in ("frfcfs", "fcfs"):
+        row = {"DRAM scheduler": scheduler}
+        row.update(run_bfs(with_dram_scheduler(base, scheduler),
+                           args.nodes, args.degree))
+        rows.append(row)
+    print(comparison_table("DRAM scheduling policy", rows,
+                           ["DRAM scheduler", "cycles", "mean load latency",
+                            "exposed fraction"]))
+    print()
+
+    rows = []
+    for scheduler in ("gto", "lrr"):
+        row = {"warp scheduler": scheduler}
+        row.update(run_bfs(with_warp_scheduler(base, scheduler),
+                           args.nodes, args.degree))
+        rows.append(row)
+    print(comparison_table("Warp scheduling policy", rows,
+                           ["warp scheduler", "cycles", "mean load latency",
+                            "exposed fraction"]))
+    print()
+
+    rows = []
+    for label, enabled, cache_global in (
+        ("fermi (global cached)", True, True),
+        ("kepler (local only)", True, False),
+        ("maxwell (no L1)", False, False),
+    ):
+        row = {"L1 policy": label}
+        row.update(run_bfs(with_l1_policy(base, enabled, cache_global),
+                           args.nodes, args.degree))
+        rows.append(row)
+    print(comparison_table("Generational L1 policy (Table I's trend)", rows,
+                           ["L1 policy", "cycles", "mean load latency",
+                            "exposed fraction"]))
+
+
+if __name__ == "__main__":
+    main()

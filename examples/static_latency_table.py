@@ -1,0 +1,61 @@
+"""Static latency analysis: reproduce Table I and infer the hierarchy.
+
+This example reruns the paper's Section II study:
+
+* the pointer-chase microbenchmark measures the unloaded L1 / L2 / DRAM
+  latencies of each GPU-generation configuration (Table I), and
+* a footprint sweep at fixed stride is fed to the plateau detector, which
+  infers how many levels the hierarchy has and how large each level is —
+  the Wong-et-al.-style methodology the paper's measurements rely on.
+
+Run with::
+
+    python examples/static_latency_table.py            # full Table I
+    python examples/static_latency_table.py --quick    # fewer accesses
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.hierarchy import infer_hierarchy
+from repro.core.pointer_chase import sweep_chase_latency
+from repro.core.static import reproduce_table_i
+from repro.gpu import get_config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="measure fewer accesses per data point")
+    parser.add_argument("--sweep-config", default="gf106",
+                        help="configuration for the footprint sweep "
+                             "(default: gf106)")
+    args = parser.parse_args()
+    accesses = 128 if args.quick else 384
+
+    print("=" * 72)
+    print("Table I reproduction (values in hot-clock cycles; 'x' = level not")
+    print("present on the global/local path of that generation)")
+    print("=" * 72)
+    table = reproduce_table_i(measure_accesses=accesses)
+    print(table.format_table())
+    print()
+
+    config = get_config(args.sweep_config)
+    print("=" * 72)
+    print(f"Footprint sweep and hierarchy inference on {config.name!r}")
+    print("=" * 72)
+    footprints = [4 << 10, 8 << 10, 64 << 10, 96 << 10, 256 << 10, 384 << 10]
+    surface = sweep_chase_latency(config, footprints, strides=[128],
+                                  measure_accesses=accesses)
+    print(f"{'footprint':>12s} {'cycles/access':>14s}")
+    for footprint, latency in surface.curve(128):
+        print(f"{footprint:>12d} {latency:>14.1f}")
+    print()
+    estimate = infer_hierarchy(surface, stride_bytes=128)
+    print(estimate.describe())
+
+
+if __name__ == "__main__":
+    main()

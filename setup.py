@@ -1,0 +1,8 @@
+"""Setuptools shim so that editable installs work without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` in offline environments.
+"""
+from setuptools import setup
+
+setup()

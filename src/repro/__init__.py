@@ -1,0 +1,86 @@
+"""repro — reproduction of "On Latency in GPU Throughput Microarchitectures".
+
+The package provides a from-scratch, cycle-level GPU timing simulator (SIMT
+cores with a complete global/local memory pipeline) together with the
+paper's two analyses:
+
+* the *static* latency analysis — pointer-chase microbenchmarking of four
+  GPU-generation configurations, reproducing Table I, and
+* the *dynamic* latency analysis — per-stage latency breakdowns and the
+  exposed/hidden latency classification for real workloads, reproducing
+  Figures 1 and 2.
+
+Typical usage::
+
+    from repro import GPU, fermi_gf100, BFSWorkload
+    from repro.core import breakdown_from_tracker, compute_exposure
+
+    gpu = GPU(fermi_gf100())
+    bfs = BFSWorkload(num_nodes=2048)
+    bfs.run_verified(gpu)
+    figure1 = breakdown_from_tracker(gpu.tracker)
+    figure2 = compute_exposure(gpu.tracker)
+"""
+
+from repro.core.breakdown import breakdown_from_tracker, compute_breakdown
+from repro.core.exposure import compute_exposure
+from repro.core.static import reproduce_table_i
+from repro.core.tracker import LatencyTracker
+from repro.gpu import (
+    GPU,
+    GPUConfig,
+    KernelResult,
+    available_configs,
+    fermi_gf100,
+    fermi_gf106,
+    get_config,
+    kepler_gk104,
+    maxwell_gm107,
+    tesla_gt200,
+)
+from repro.isa import KernelBuilder, Program
+from repro.workloads import (
+    BFSWorkload,
+    MatMulWorkload,
+    PointerChaseWorkload,
+    ReductionWorkload,
+    SpMVWorkload,
+    StencilWorkload,
+    VecAddWorkload,
+    Workload,
+    available_workloads,
+    create_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BFSWorkload",
+    "GPU",
+    "GPUConfig",
+    "KernelBuilder",
+    "KernelResult",
+    "LatencyTracker",
+    "MatMulWorkload",
+    "PointerChaseWorkload",
+    "Program",
+    "ReductionWorkload",
+    "SpMVWorkload",
+    "StencilWorkload",
+    "VecAddWorkload",
+    "Workload",
+    "available_configs",
+    "available_workloads",
+    "breakdown_from_tracker",
+    "compute_breakdown",
+    "compute_exposure",
+    "create_workload",
+    "fermi_gf100",
+    "fermi_gf106",
+    "get_config",
+    "kepler_gk104",
+    "maxwell_gm107",
+    "reproduce_table_i",
+    "tesla_gt200",
+    "__version__",
+]

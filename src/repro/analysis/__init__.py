@@ -1,0 +1,19 @@
+"""Result reporting helpers (plain-text tables and ASCII charts)."""
+
+from repro.analysis.report import (
+    STAGE_GLYPHS,
+    breakdown_chart,
+    comparison_table,
+    exposure_chart,
+    format_table,
+    stacked_bar,
+)
+
+__all__ = [
+    "STAGE_GLYPHS",
+    "breakdown_chart",
+    "comparison_table",
+    "exposure_chart",
+    "format_table",
+    "stacked_bar",
+]

@@ -1,0 +1,93 @@
+"""Plain-text rendering of experiment results (tables and ASCII charts).
+
+The benchmark harness and the examples print their results with these
+helpers so that the reproduction's "figures" can be inspected directly in a
+terminal without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.breakdown import BreakdownResult
+from repro.core.exposure import ExposureResult
+from repro.core.stages import STAGE_ORDER
+
+#: One-character glyph per pipeline stage, used by the ASCII stacked chart.
+STAGE_GLYPHS = {
+    stage: glyph
+    for stage, glyph in zip(STAGE_ORDER, ["S", "Q", "I", "R", "L", "D", "A", "F"])
+}
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[column])),
+            *(len(row[column]) for row in text_rows)) if text_rows
+        else len(str(headers[column]))
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(header).ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append("  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(row)
+        ))
+    return "\n".join(lines)
+
+
+def stacked_bar(percentages: Dict, width: int = 50) -> str:
+    """Render one 100%-stacked bar using per-stage glyphs."""
+    bar = []
+    for stage in STAGE_ORDER:
+        share = percentages.get(stage, 0.0)
+        bar.append(STAGE_GLYPHS[stage] * int(round(share / 100.0 * width)))
+    text = "".join(bar)
+    if len(text) < width:
+        text += " " * (width - len(text))
+    return text[:width]
+
+
+def breakdown_chart(result: BreakdownResult, width: int = 50) -> str:
+    """ASCII rendering of Figure 1: one stacked bar per latency bucket."""
+    lines = [
+        "Latency breakdown per bucket "
+        "(legend: " + ", ".join(
+            f"{STAGE_GLYPHS[stage]}={stage.value}" for stage in STAGE_ORDER
+        ) + ")"
+    ]
+    for bucket in result.non_empty_buckets():
+        lines.append(
+            f"{bucket.label:>12s} |{stacked_bar(bucket.percentages(), width)}| "
+            f"n={bucket.count}"
+        )
+    return "\n".join(lines)
+
+
+def exposure_chart(result: ExposureResult, width: int = 50) -> str:
+    """ASCII rendering of Figure 2: exposed (#) vs hidden (.) per bucket."""
+    lines = ["Exposed (#) vs hidden (.) latency per bucket"]
+    for bucket in result.non_empty_buckets():
+        exposed_cols = int(round(bucket.exposed_percent / 100.0 * width))
+        bar = "#" * exposed_cols + "." * (width - exposed_cols)
+        lines.append(
+            f"{bucket.label:>12s} |{bar}| exposed={bucket.exposed_percent:5.1f}% "
+            f"n={bucket.count}"
+        )
+    return "\n".join(lines)
+
+
+def comparison_table(title: str, rows: List[Dict[str, object]],
+                     columns: Sequence[str]) -> str:
+    """Render a list of dict rows with the given column order."""
+    return format_table(columns, [[row.get(col, "") for col in columns]
+                                  for row in rows], title=title)

@@ -1,0 +1,187 @@
+"""Command-line interface for the reproduction.
+
+The CLI exposes the paper's experiments without writing any Python:
+
+``repro configs``
+    List the built-in GPU configurations and their cache/latency headline
+    numbers.
+``repro workloads``
+    List the bundled workloads.
+``repro table1``
+    Reproduce Table I (static L1/L2/DRAM latencies per generation).
+``repro sweep``
+    Run a footprint/stride pointer-chase sweep on one configuration and
+    infer its memory hierarchy from the latency plateaus.
+``repro dynamic``
+    Run a workload on a configuration and print the Figure 1 latency
+    breakdown and the Figure 2 exposed/hidden analysis.
+
+Each subcommand prints plain text; pass ``--help`` to any of them for its
+options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import breakdown_chart, exposure_chart, format_table
+from repro.core.breakdown import breakdown_from_tracker
+from repro.core.exposure import compute_exposure
+from repro.core.hierarchy import infer_hierarchy
+from repro.core.pointer_chase import default_footprints, sweep_chase_latency
+from repro.core.static import reproduce_table_i
+from repro.gpu import GPU, available_configs, get_config
+from repro.gpu.configs import table_i_generations
+from repro.workloads import available_workloads, create_workload
+
+
+def _cmd_configs(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_configs():
+        config = get_config(name)
+        l1_bytes = config.l1_bytes()
+        rows.append([
+            name,
+            config.num_sms,
+            f"{l1_bytes // 1024} KiB" if l1_bytes else "-",
+            ("global+local" if config.core.l1.cache_global
+             else "local only") if config.core.l1.enabled else "-",
+            (f"{config.total_l2_bytes() // 1024} KiB"
+             if config.partition.l2_enabled else "-"),
+            config.partition.dram.scheduler,
+            config.description,
+        ])
+    print(format_table(
+        ["name", "SMs", "L1/SM", "L1 policy", "L2 total", "DRAM sched",
+         "description"],
+        rows,
+        title="Built-in GPU configurations",
+    ))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [[name, type(create_workload(name)).__doc__.strip().splitlines()[0]]
+            for name in available_workloads()]
+    print(format_table(["name", "description"], rows,
+                       title="Bundled workloads"))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    names = args.configs or table_i_generations()
+    result = reproduce_table_i(config_names=names,
+                               measure_accesses=args.accesses)
+    print(result.format_table())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = get_config(args.config)
+    footprints = args.footprints or default_footprints(config)
+    surface = sweep_chase_latency(config, footprints, strides=[args.stride],
+                                  space=args.space,
+                                  measure_accesses=args.accesses)
+    rows = [[footprint, f"{latency:.1f}"]
+            for footprint, latency in surface.curve(args.stride)]
+    print(format_table(["footprint (bytes)", "cycles / access"], rows,
+                       title=f"Pointer-chase sweep on {config.name!r} "
+                             f"({args.space} space, stride {args.stride})"))
+    print()
+    print(infer_hierarchy(surface, stride_bytes=args.stride).describe())
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    config = get_config(args.config)
+    gpu = GPU(config)
+    workload_kwargs = {}
+    if args.workload == "bfs":
+        workload_kwargs = {"num_nodes": args.nodes, "avg_degree": args.degree}
+    workload = create_workload(args.workload, **workload_kwargs)
+    results = workload.run(gpu)
+    if not workload.verify(gpu):
+        print(f"error: workload {args.workload!r} failed verification",
+              file=sys.stderr)
+        return 1
+    print(f"{args.workload} on {config.name!r}: "
+          f"{sum(r.cycles for r in results)} cycles over "
+          f"{len(results)} launch(es)")
+    print()
+    figure1 = breakdown_from_tracker(gpu.tracker, num_buckets=args.buckets)
+    print("Figure 1 — latency breakdown per bucket:")
+    print(figure1.format_table())
+    print()
+    print(breakdown_chart(figure1, width=50))
+    print()
+    figure2 = compute_exposure(gpu.tracker, num_buckets=args.buckets)
+    print("Figure 2 — exposed vs hidden load latency:")
+    print(f"overall exposed fraction: {figure2.overall_exposed_fraction:.3f}")
+    print(figure2.format_table())
+    print()
+    print(exposure_chart(figure2, width=50))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'On Latency in GPU Throughput "
+                    "Microarchitectures' (ISPASS 2015)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    configs = subparsers.add_parser("configs",
+                                    help="list built-in GPU configurations")
+    configs.set_defaults(func=_cmd_configs)
+
+    workloads = subparsers.add_parser("workloads",
+                                      help="list bundled workloads")
+    workloads.set_defaults(func=_cmd_workloads)
+
+    table1 = subparsers.add_parser("table1",
+                                   help="reproduce Table I (static latencies)")
+    table1.add_argument("--configs", nargs="*", choices=available_configs(),
+                        help="generations to measure (default: the paper's)")
+    table1.add_argument("--accesses", type=int, default=256,
+                        help="measured chain accesses per data point")
+    table1.set_defaults(func=_cmd_table1)
+
+    sweep = subparsers.add_parser("sweep",
+                                  help="pointer-chase footprint sweep + "
+                                       "hierarchy inference")
+    sweep.add_argument("--config", default="gf106", choices=available_configs())
+    sweep.add_argument("--stride", type=int, default=128)
+    sweep.add_argument("--space", default="global", choices=["global", "local"])
+    sweep.add_argument("--accesses", type=int, default=192)
+    sweep.add_argument("--footprints", nargs="*", type=int,
+                       help="footprints in bytes (default: span the caches)")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    dynamic = subparsers.add_parser("dynamic",
+                                    help="run a workload and print the "
+                                         "Figure 1/2 analyses")
+    dynamic.add_argument("--config", default="gf100", choices=available_configs())
+    dynamic.add_argument("--workload", default="bfs",
+                         choices=available_workloads())
+    dynamic.add_argument("--nodes", type=int, default=2048,
+                         help="BFS graph size")
+    dynamic.add_argument("--degree", type=int, default=8,
+                         help="BFS average degree")
+    dynamic.add_argument("--buckets", type=int, default=24)
+    dynamic.set_defaults(func=_cmd_dynamic)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""The paper's latency analyses: instrumentation, static and dynamic studies.
+
+This package is the reproduction of the paper's contribution proper:
+
+* :mod:`repro.core.stages` / :mod:`repro.core.tracker` — the memory-request
+  instrumentation added to the simulator (Section III's "emit timestamps
+  whenever a given memory request moves from one stage ... to the next").
+* :mod:`repro.core.pointer_chase` / :mod:`repro.core.static` /
+  :mod:`repro.core.hierarchy` — the static latency analysis (Section II /
+  Table I) and the plateau-based hierarchy inference behind it.
+* :mod:`repro.core.breakdown` — the dynamic per-stage latency breakdown
+  (Figure 1).
+* :mod:`repro.core.exposure` — the exposed vs hidden latency analysis
+  (Figure 2).
+* :mod:`repro.core.calibrate` — derivation of the per-generation latency
+  constants that substitute for real silicon.
+"""
+
+from repro.core.breakdown import (
+    BreakdownResult,
+    LatencyBucket,
+    breakdown_from_tracker,
+    compute_breakdown,
+)
+from repro.core.calibrate import CalibrationResult, calibrate_config, calibration_report
+from repro.core.exposure import ExposureBucket, ExposureResult, compute_exposure
+from repro.core.hierarchy import (
+    HierarchyEstimate,
+    HierarchyLevel,
+    detect_plateaus,
+    expected_level_count,
+    infer_hierarchy,
+)
+from repro.core.pointer_chase import (
+    ChaseMeasurement,
+    LatencySurface,
+    default_footprints,
+    measure_chase_latency,
+    regime_footprints,
+    sweep_chase_latency,
+)
+from repro.core.stages import EVENT_ORDER, STAGE_ORDER, Event, Stage, classify_lifetime
+from repro.core.static import (
+    GenerationLatencies,
+    TableIResult,
+    measure_generation,
+    reproduce_table_i,
+)
+from repro.core.tracker import LatencyTracker, LoadRecord, RequestRecord
+
+__all__ = [
+    "BreakdownResult",
+    "CalibrationResult",
+    "ChaseMeasurement",
+    "EVENT_ORDER",
+    "Event",
+    "ExposureBucket",
+    "ExposureResult",
+    "GenerationLatencies",
+    "HierarchyEstimate",
+    "HierarchyLevel",
+    "LatencyBucket",
+    "LatencySurface",
+    "LatencyTracker",
+    "LoadRecord",
+    "RequestRecord",
+    "STAGE_ORDER",
+    "Stage",
+    "TableIResult",
+    "breakdown_from_tracker",
+    "calibrate_config",
+    "calibration_report",
+    "classify_lifetime",
+    "compute_breakdown",
+    "compute_exposure",
+    "default_footprints",
+    "detect_plateaus",
+    "expected_level_count",
+    "infer_hierarchy",
+    "measure_chase_latency",
+    "measure_generation",
+    "regime_footprints",
+    "reproduce_table_i",
+    "sweep_chase_latency",
+]

@@ -1,0 +1,198 @@
+"""Figure 1 reproduction: per-bucket breakdown of memory-request lifetimes.
+
+Completed memory-fetch lifetimes (from the tracker) are grouped into
+equal-width latency buckets; within each bucket, the cycles spent in each
+of the eight memory-pipeline stages are summed and expressed as a
+percentage of the bucket's total latency — a textual rendering of the
+paper's 100 %-stacked Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.stages import STAGE_ORDER, Stage
+from repro.core.tracker import LatencyTracker, RequestRecord
+from repro.utils.errors import ConfigurationError
+
+#: Number of latency buckets used in the paper's Figure 1.
+DEFAULT_NUM_BUCKETS = 48
+
+
+@dataclass
+class LatencyBucket:
+    """One latency range of the breakdown figure."""
+
+    lower: float
+    upper: float
+    count: int = 0
+    stage_cycles: Dict[Stage, int] = field(
+        default_factory=lambda: {stage: 0 for stage in Stage}
+    )
+
+    @property
+    def label(self) -> str:
+        """Latency-range label, e.g. ``"115-153"``."""
+        return f"{int(round(self.lower))}-{int(round(self.upper))}"
+
+    @property
+    def total_cycles(self) -> int:
+        """Total cycles across all stages in this bucket."""
+        return sum(self.stage_cycles.values())
+
+    def percentages(self) -> Dict[Stage, float]:
+        """Per-stage share of this bucket's total latency (0..100)."""
+        total = self.total_cycles
+        if total == 0:
+            return {stage: 0.0 for stage in Stage}
+        return {
+            stage: 100.0 * cycles / total
+            for stage, cycles in self.stage_cycles.items()
+        }
+
+
+@dataclass
+class BreakdownResult:
+    """The complete latency breakdown (all buckets) for one workload run."""
+
+    buckets: List[LatencyBucket]
+    total_requests: int
+    min_latency: int
+    max_latency: int
+
+    def non_empty_buckets(self) -> List[LatencyBucket]:
+        """Buckets that contain at least one request."""
+        return [bucket for bucket in self.buckets if bucket.count]
+
+    def stage_totals(self) -> Dict[Stage, int]:
+        """Cycles per stage summed over all requests."""
+        totals = {stage: 0 for stage in Stage}
+        for bucket in self.buckets:
+            for stage, cycles in bucket.stage_cycles.items():
+                totals[stage] += cycles
+        return totals
+
+    def stage_fractions(self) -> Dict[Stage, float]:
+        """Fraction of all lifetime cycles spent in each stage (0..1)."""
+        totals = self.stage_totals()
+        grand_total = sum(totals.values())
+        if grand_total == 0:
+            return {stage: 0.0 for stage in Stage}
+        return {stage: cycles / grand_total for stage, cycles in totals.items()}
+
+    def queueing_and_arbitration_fraction(
+        self, latency_threshold: Optional[float] = None
+    ) -> float:
+        """Share of lifetime cycles spent in the two stages the paper singles out.
+
+        The paper identifies the L1 miss queue ("L1toICNT") and DRAM access
+        scheduling ("DRAM(QtoSch)") as the two key contributors for
+        long-latency requests.  ``latency_threshold`` restricts the
+        computation to buckets whose lower bound is at least that latency
+        (defaults to the median of the observed range).
+        """
+        if latency_threshold is None:
+            latency_threshold = (self.min_latency + self.max_latency) / 2
+        selected = 0
+        total = 0
+        for bucket in self.buckets:
+            if bucket.lower < latency_threshold:
+                continue
+            total += bucket.total_cycles
+            selected += bucket.stage_cycles[Stage.L1_TO_ICNT]
+            selected += bucket.stage_cycles[Stage.DRAM_Q_TO_SCH]
+        return selected / total if total else 0.0
+
+    def format_table(self, include_empty: bool = False) -> str:
+        """Render the breakdown as a text table (one row per bucket)."""
+        headers = ["Latency", "Requests"] + [stage.value for stage in STAGE_ORDER]
+        rows = []
+        for bucket in self.buckets:
+            if not include_empty and bucket.count == 0:
+                continue
+            percentages = bucket.percentages()
+            rows.append(
+                [bucket.label, str(bucket.count)]
+                + [f"{percentages[stage]:5.1f}" for stage in STAGE_ORDER]
+            )
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+        ]
+        lines.append("-" * len(lines[0]))
+        for row in rows:
+            lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                                    for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+def _bucket_edges(min_latency: int, max_latency: int,
+                  num_buckets: int) -> List[Tuple[float, float]]:
+    if num_buckets < 1:
+        raise ConfigurationError("num_buckets must be >= 1")
+    span = max(max_latency - min_latency, 1)
+    width = span / num_buckets
+    return [
+        (min_latency + index * width, min_latency + (index + 1) * width)
+        for index in range(num_buckets)
+    ]
+
+
+def compute_breakdown(
+    records: Sequence[RequestRecord],
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    spaces: Iterable[str] = ("global", "local"),
+    clip_percentile: float = 99.5,
+) -> BreakdownResult:
+    """Compute the Figure 1 breakdown from completed request records.
+
+    ``clip_percentile`` bounds the bucket range: the handful of requests
+    beyond that latency percentile are folded into the last bucket so that
+    rare stragglers do not stretch the axis and flatten the histogram.
+    """
+    allowed = set(spaces)
+    reads = [r for r in records if not r.is_write and r.space in allowed]
+    if not reads:
+        return BreakdownResult(buckets=[], total_requests=0,
+                               min_latency=0, max_latency=0)
+    if not 0 < clip_percentile <= 100:
+        raise ConfigurationError("clip_percentile must be in (0, 100]")
+    latencies = sorted(record.latency for record in reads)
+    min_latency = latencies[0]
+    clip_index = min(
+        len(latencies) - 1,
+        int(round(clip_percentile / 100.0 * (len(latencies) - 1))),
+    )
+    max_latency = max(latencies[clip_index], min_latency + 1)
+    edges = _bucket_edges(min_latency, max_latency, num_buckets)
+    buckets = [LatencyBucket(lower=lo, upper=hi) for lo, hi in edges]
+    span = max(max_latency - min_latency, 1)
+    for record in reads:
+        index = int((record.latency - min_latency) / span * num_buckets)
+        index = min(index, num_buckets - 1)
+        bucket = buckets[index]
+        bucket.count += 1
+        for stage, cycles in record.breakdown().items():
+            bucket.stage_cycles[stage] += cycles
+    return BreakdownResult(
+        buckets=buckets,
+        total_requests=len(reads),
+        min_latency=min_latency,
+        max_latency=max_latency,
+    )
+
+
+def breakdown_from_tracker(
+    tracker: LatencyTracker,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    spaces: Iterable[str] = ("global", "local"),
+    clip_percentile: float = 99.5,
+) -> BreakdownResult:
+    """Convenience wrapper computing the breakdown straight from a tracker."""
+    return compute_breakdown(tracker.read_requests(), num_buckets=num_buckets,
+                             spaces=spaces, clip_percentile=clip_percentile)

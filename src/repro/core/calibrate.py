@@ -1,0 +1,143 @@
+"""Latency calibration: tune configuration knobs to hit Table I targets.
+
+The simulator substitutes for the real GPUs of the paper's static analysis.
+To make that substitution faithful, each per-generation configuration has
+three free latency knobs — the L1 hit latency, the L2 hit latency, and the
+DRAM service pad — that are adjusted until the *measured* pointer-chase
+latencies (through the complete pipeline, with all queue, interconnect, and
+ROP delays included) match the paper's Table I.  Because every knob adds
+exactly one cycle of end-to-end latency per unit, a measured offset can be
+corrected in a single step; a second iteration verifies convergence.
+
+The calibrated constants are baked into :mod:`repro.gpu.configs`; this
+module exists so the derivation is reproducible and testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.pointer_chase import DEFAULT_MEASURE_ACCESSES
+from repro.core.static import measure_generation
+from repro.gpu.config import GPUConfig
+from repro.gpu.configs import TABLE_I_TARGETS
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of calibrating one configuration."""
+
+    config: GPUConfig
+    targets: Dict[str, Optional[int]]
+    measured: Dict[str, Optional[float]]
+    iterations: int
+
+    def max_relative_error(self) -> float:
+        """Largest relative error across the levels that have targets."""
+        errors = []
+        for level, target in self.targets.items():
+            measured = self.measured.get(level)
+            if target is None or measured is None:
+                continue
+            errors.append(abs(measured - target) / target)
+        return max(errors) if errors else 0.0
+
+
+def _with_l1_hit_latency(config: GPUConfig, latency: int) -> GPUConfig:
+    l1 = dataclasses.replace(config.core.l1, hit_latency=max(latency, 1))
+    core = dataclasses.replace(config.core, l1=l1)
+    return config.replace(core=core)
+
+
+def _with_l2_hit_latency(config: GPUConfig, latency: int) -> GPUConfig:
+    if config.partition.l2 is None:
+        return config
+    l2 = dataclasses.replace(config.partition.l2, hit_latency=max(latency, 1))
+    partition = dataclasses.replace(config.partition, l2=l2)
+    return config.replace(partition=partition)
+
+
+def _with_dram_pad(config: GPUConfig, pad: int) -> GPUConfig:
+    dram = dataclasses.replace(config.partition.dram, service_pad=max(pad, 0))
+    partition = dataclasses.replace(config.partition, dram=dram)
+    return config.replace(partition=partition)
+
+
+def calibrate_config(
+    config: GPUConfig,
+    targets: Optional[Dict[str, Optional[int]]] = None,
+    iterations: int = 2,
+    measure_accesses: int = DEFAULT_MEASURE_ACCESSES,
+    stride_bytes: int = 128,
+) -> CalibrationResult:
+    """Adjust latency knobs so measured latencies match ``targets``.
+
+    ``targets`` defaults to the paper's Table I values for the
+    configuration's name.  Levels whose target is ``None`` are skipped.
+    """
+    if targets is None:
+        targets = TABLE_I_TARGETS.get(config.name)
+    if targets is None:
+        raise ConfigurationError(
+            f"no Table I targets known for configuration {config.name!r}; "
+            "pass targets explicitly"
+        )
+    current = config
+    measured: Dict[str, Optional[float]] = {}
+    for _ in range(max(iterations, 1)):
+        generation = measure_generation(
+            current, stride_bytes=stride_bytes, measure_accesses=measure_accesses
+        )
+        measured = generation.measured
+        l1_target = targets.get("l1")
+        if l1_target is not None and measured.get("l1") is not None:
+            offset = round(l1_target - measured["l1"])
+            current = _with_l1_hit_latency(
+                current, current.core.l1.hit_latency + offset
+            )
+        l2_target = targets.get("l2")
+        if l2_target is not None and measured.get("l2") is not None:
+            offset = round(l2_target - measured["l2"])
+            if current.partition.l2 is not None:
+                current = _with_l2_hit_latency(
+                    current, current.partition.l2.hit_latency + offset
+                )
+        dram_target = targets.get("dram")
+        if dram_target is not None and measured.get("dram") is not None:
+            offset = round(dram_target - measured["dram"])
+            current = _with_dram_pad(
+                current, current.partition.dram.service_pad + offset
+            )
+    final = measure_generation(
+        current, stride_bytes=stride_bytes, measure_accesses=measure_accesses
+    )
+    return CalibrationResult(
+        config=current,
+        targets=dict(targets),
+        measured=final.measured,
+        iterations=iterations,
+    )
+
+
+def calibration_report(result: CalibrationResult) -> str:
+    """Human-readable summary of a calibration run."""
+    lines = [f"calibration of {result.config.name!r} "
+             f"({result.iterations} iteration(s)):"]
+    for level in ("l1", "l2", "dram"):
+        target = result.targets.get(level)
+        measured = result.measured.get(level)
+        if target is None:
+            lines.append(f"  {level:4s}: not present (paper reports 'x')")
+            continue
+        measured_text = "n/a" if measured is None else f"{measured:.1f}"
+        lines.append(f"  {level:4s}: target {target}, measured {measured_text}")
+    lines.append(
+        "  knobs: "
+        f"l1_hit={result.config.core.l1.hit_latency}, "
+        f"l2_hit={result.config.partition.l2.hit_latency if result.config.partition.l2 else 'n/a'}, "
+        f"dram_pad={result.config.partition.dram.service_pad}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Figure 2 reproduction: exposed vs hidden fraction of load latency.
+
+For every warp-level global load instruction, the tracker knows when it
+issued, when its value was written back, and in which of the intervening
+cycles its SM managed to issue *any* instruction.  Cycles with no issue are
+*exposed* — they are latency the SM could not hide with other work.  The
+loads are grouped into latency buckets and the exposed/hidden split is
+reported per bucket, mirroring the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.tracker import LatencyTracker, LoadRecord
+from repro.utils.errors import ConfigurationError
+
+#: Number of latency buckets used in the paper's Figure 2.
+DEFAULT_NUM_BUCKETS = 24
+
+
+@dataclass
+class ExposureBucket:
+    """Exposed/hidden cycle totals for one load-latency range."""
+
+    lower: float
+    upper: float
+    count: int = 0
+    exposed_cycles: int = 0
+    hidden_cycles: int = 0
+
+    @property
+    def label(self) -> str:
+        """Latency-range label, e.g. ``"242-272"``."""
+        return f"{int(round(self.lower))}-{int(round(self.upper))}"
+
+    @property
+    def total_cycles(self) -> int:
+        """Exposed plus hidden cycles in this bucket."""
+        return self.exposed_cycles + self.hidden_cycles
+
+    @property
+    def exposed_percent(self) -> float:
+        """Exposed share of this bucket's load latency (0..100)."""
+        total = self.total_cycles
+        return 100.0 * self.exposed_cycles / total if total else 0.0
+
+    @property
+    def hidden_percent(self) -> float:
+        """Hidden share of this bucket's load latency (0..100)."""
+        total = self.total_cycles
+        return 100.0 * self.hidden_cycles / total if total else 0.0
+
+
+@dataclass
+class ExposureResult:
+    """The complete exposed-latency analysis for one workload run."""
+
+    buckets: List[ExposureBucket]
+    total_loads: int
+    min_latency: int = 0
+    max_latency: int = 0
+    per_load: List[Tuple[int, int]] = field(default_factory=list)
+
+    def non_empty_buckets(self) -> List[ExposureBucket]:
+        """Buckets containing at least one load."""
+        return [bucket for bucket in self.buckets if bucket.count]
+
+    @property
+    def overall_exposed_fraction(self) -> float:
+        """Exposed share of all load-latency cycles (0..1)."""
+        exposed = sum(bucket.exposed_cycles for bucket in self.buckets)
+        total = sum(bucket.total_cycles for bucket in self.buckets)
+        return exposed / total if total else 0.0
+
+    def fraction_of_loads_mostly_exposed(self, threshold: float = 50.0) -> float:
+        """Share of loads whose individual exposure exceeds ``threshold`` %."""
+        if not self.per_load:
+            return 0.0
+        mostly = sum(
+            1 for latency, exposed in self.per_load
+            if latency and 100.0 * exposed / latency > threshold
+        )
+        return mostly / len(self.per_load)
+
+    def format_table(self, include_empty: bool = False) -> str:
+        """Render the exposure analysis as a text table."""
+        headers = ["Latency", "Loads", "Exposed %", "Hidden %"]
+        rows = []
+        for bucket in self.buckets:
+            if not include_empty and bucket.count == 0:
+                continue
+            rows.append([
+                bucket.label,
+                str(bucket.count),
+                f"{bucket.exposed_percent:6.1f}",
+                f"{bucket.hidden_percent:6.1f}",
+            ])
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+        ]
+        lines.append("-" * len(lines[0]))
+        for row in rows:
+            lines.append("  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            ))
+        return "\n".join(lines)
+
+
+def compute_exposure(
+    tracker: LatencyTracker,
+    loads: Optional[Sequence[LoadRecord]] = None,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    space: str = "global",
+    clip_percentile: float = 99.5,
+) -> ExposureResult:
+    """Compute the Figure 2 exposed/hidden breakdown from tracked loads.
+
+    Loads beyond the ``clip_percentile`` latency percentile fall into the
+    last bucket, keeping rare stragglers from stretching the axis.
+    """
+    if num_buckets < 1:
+        raise ConfigurationError("num_buckets must be >= 1")
+    if not 0 < clip_percentile <= 100:
+        raise ConfigurationError("clip_percentile must be in (0, 100]")
+    if loads is None:
+        loads = [load for load in tracker.loads if load.space == space]
+    loads = [load for load in loads if load.latency > 0]
+    if not loads:
+        return ExposureResult(buckets=[], total_loads=0)
+    latencies = sorted(load.latency for load in loads)
+    min_latency = latencies[0]
+    clip_index = min(
+        len(latencies) - 1,
+        int(round(clip_percentile / 100.0 * (len(latencies) - 1))),
+    )
+    max_latency = max(latencies[clip_index], min_latency + 1)
+    span = max(max_latency - min_latency, 1)
+    width = span / num_buckets
+    buckets = [
+        ExposureBucket(lower=min_latency + index * width,
+                       upper=min_latency + (index + 1) * width)
+        for index in range(num_buckets)
+    ]
+    per_load = []
+    for load in loads:
+        exposed = tracker.exposed_cycles(load)
+        hidden = load.latency - exposed
+        index = min(int((load.latency - min_latency) / span * num_buckets),
+                    num_buckets - 1)
+        bucket = buckets[index]
+        bucket.count += 1
+        bucket.exposed_cycles += exposed
+        bucket.hidden_cycles += hidden
+        per_load.append((load.latency, exposed))
+    return ExposureResult(
+        buckets=buckets,
+        total_loads=len(loads),
+        min_latency=min_latency,
+        max_latency=max_latency,
+        per_load=per_load,
+    )

@@ -1,0 +1,132 @@
+"""Memory-hierarchy inference from pointer-chase latency curves.
+
+Wong et al.'s microbenchmarking methodology — which the paper's static
+analysis follows — infers the cache hierarchy from the plateaus of the
+per-access latency as a function of footprint: every plateau is one level
+of the hierarchy, and the footprint at which the curve steps up reveals
+that level's capacity.  This module implements that plateau detection so
+the reproduction can *derive* Table I's structure rather than merely read
+it out of the configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.pointer_chase import LatencySurface
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HierarchyLevel:
+    """One detected level of the memory hierarchy."""
+
+    index: int
+    latency: float
+    min_footprint: int
+    max_footprint: int
+
+    @property
+    def capacity_estimate(self) -> int:
+        """Estimated capacity: the largest footprint still on this plateau."""
+        return self.max_footprint
+
+
+@dataclass
+class HierarchyEstimate:
+    """The set of levels detected from one latency-vs-footprint curve."""
+
+    stride_bytes: int
+    levels: List[HierarchyLevel]
+
+    @property
+    def num_levels(self) -> int:
+        """Number of distinct latency plateaus detected."""
+        return len(self.levels)
+
+    def latencies(self) -> List[float]:
+        """Plateau latencies from fastest to slowest."""
+        return [level.latency for level in self.levels]
+
+    def describe(self) -> str:
+        """Human-readable multi-line description of the detected hierarchy."""
+        lines = [f"detected {self.num_levels} level(s) at stride {self.stride_bytes}B"]
+        for level in self.levels:
+            lines.append(
+                f"  level {level.index}: ~{level.latency:.0f} cycles, "
+                f"capacity <= {level.capacity_estimate} bytes"
+            )
+        return "\n".join(lines)
+
+
+def detect_plateaus(
+    points: Sequence[Tuple[int, float]],
+    relative_step: float = 0.25,
+    absolute_step: float = 12.0,
+) -> List[List[Tuple[int, float]]]:
+    """Split a latency-vs-footprint curve into latency plateaus.
+
+    A new plateau starts whenever the latency rises by more than both
+    ``relative_step`` (fraction of the current plateau's mean) and
+    ``absolute_step`` cycles.
+    """
+    if not points:
+        return []
+    ordered = sorted(points)
+    plateaus: List[List[Tuple[int, float]]] = [[ordered[0]]]
+    for footprint, latency in ordered[1:]:
+        current = plateaus[-1]
+        mean = sum(lat for _, lat in current) / len(current)
+        if latency - mean > max(absolute_step, relative_step * mean):
+            plateaus.append([(footprint, latency)])
+        else:
+            current.append((footprint, latency))
+    return plateaus
+
+
+def infer_hierarchy(
+    surface: LatencySurface,
+    stride_bytes: Optional[int] = None,
+    relative_step: float = 0.25,
+    absolute_step: float = 12.0,
+) -> HierarchyEstimate:
+    """Infer the memory hierarchy from one latency surface.
+
+    Parameters
+    ----------
+    surface:
+        Output of :func:`repro.core.pointer_chase.sweep_chase_latency`.
+    stride_bytes:
+        Which stride's curve to analyse.  Defaults to the largest stride in
+        the surface (large strides defeat spatial reuse within a line, the
+        standard choice in microbenchmarking suites).
+    """
+    strides = surface.strides()
+    if not strides:
+        raise ConfigurationError("latency surface contains no measurements")
+    chosen = stride_bytes if stride_bytes is not None else strides[-1]
+    if chosen not in strides:
+        raise ConfigurationError(
+            f"stride {chosen} not present in surface (has {strides})"
+        )
+    curve = surface.curve(chosen)
+    plateaus = detect_plateaus(curve, relative_step, absolute_step)
+    levels = []
+    for index, plateau in enumerate(plateaus):
+        latencies = [latency for _, latency in plateau]
+        footprints = [footprint for footprint, _ in plateau]
+        levels.append(
+            HierarchyLevel(
+                index=index,
+                latency=sum(latencies) / len(latencies),
+                min_footprint=min(footprints),
+                max_footprint=max(footprints),
+            )
+        )
+    return HierarchyEstimate(stride_bytes=chosen, levels=levels)
+
+
+def expected_level_count(has_l1: bool, has_l2: bool) -> int:
+    """Number of latency plateaus a configuration should exhibit."""
+    return 1 + int(has_l1) + int(has_l2)

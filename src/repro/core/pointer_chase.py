@@ -1,0 +1,229 @@
+"""Static latency measurement via pointer chasing (Section II of the paper).
+
+The measurement mirrors the paper's methodology: "a single active thread
+chases pointers through the global memory space while varying both the
+stride as well as footprint of the data being touched.  Readings of the
+clock register yield an overall timespan for the entire traversal.  Then,
+per-access latency is computed for each combination of stride and
+footprint."
+
+Because a simulator has no warm hardware state between runs, the
+"clock-register" measurement is implemented as a three-launch differencing
+scheme on a fresh GPU instance per data point:
+
+1. a warm-up launch traverses the chain once (populating the caches),
+2. a baseline launch performs ``W`` accesses,
+3. a measurement launch performs ``W + N`` accesses,
+
+and the per-access latency is ``(cycles(3) - cycles(2)) / N``.  All launch
+overheads and the warm-up traversal cancel in the subtraction, exactly like
+bracketing the traversal with two clock reads on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.tracker import LatencyTracker
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU
+from repro.memory.globalmem import WORD_SIZE
+from repro.utils.errors import ConfigurationError
+from repro.workloads.pointer_chase import (
+    DEFAULT_UNROLL,
+    build_global_chase_kernel,
+    build_local_chase_kernel,
+    setup_pointer_chain,
+)
+
+#: Default number of measured (post-warm-up) chain accesses per data point.
+DEFAULT_MEASURE_ACCESSES = 384
+
+
+@dataclass(frozen=True)
+class ChaseMeasurement:
+    """One (footprint, stride) point of the static latency analysis."""
+
+    config_name: str
+    space: str
+    footprint_bytes: int
+    stride_bytes: int
+    measured_accesses: int
+    cycles_per_access: float
+    baseline_cycles: int
+    measured_cycles: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.config_name} {self.space} footprint={self.footprint_bytes}B "
+            f"stride={self.stride_bytes}B -> {self.cycles_per_access:.1f} "
+            f"cycles/access"
+        )
+
+
+@dataclass
+class LatencySurface:
+    """Per-access latency over a (footprint, stride) grid for one config."""
+
+    config_name: str
+    space: str
+    measurements: List[ChaseMeasurement]
+
+    def footprints(self) -> List[int]:
+        """Distinct footprints present, ascending."""
+        return sorted({m.footprint_bytes for m in self.measurements})
+
+    def strides(self) -> List[int]:
+        """Distinct strides present, ascending."""
+        return sorted({m.stride_bytes for m in self.measurements})
+
+    def latency(self, footprint_bytes: int, stride_bytes: int) -> float:
+        """Latency at one grid point."""
+        for measurement in self.measurements:
+            if (measurement.footprint_bytes == footprint_bytes
+                    and measurement.stride_bytes == stride_bytes):
+                return measurement.cycles_per_access
+        raise KeyError(f"no measurement at ({footprint_bytes}, {stride_bytes})")
+
+    def curve(self, stride_bytes: int) -> List[Tuple[int, float]]:
+        """(footprint, latency) series at a fixed stride, ascending footprint."""
+        points = [
+            (m.footprint_bytes, m.cycles_per_access)
+            for m in self.measurements
+            if m.stride_bytes == stride_bytes
+        ]
+        return sorted(points)
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+def measure_chase_latency(
+    config: GPUConfig,
+    footprint_bytes: int,
+    stride_bytes: int,
+    space: str = "global",
+    measure_accesses: int = DEFAULT_MEASURE_ACCESSES,
+    unroll: int = DEFAULT_UNROLL,
+    warm_accesses: Optional[int] = None,
+) -> ChaseMeasurement:
+    """Measure unloaded per-access latency for one (footprint, stride) point.
+
+    ``space`` selects the global-memory chase or the local-memory chase
+    (the latter is what exposes Kepler's local-only L1, per Table I).
+    ``warm_accesses`` defaults to one full traversal of the chain; footprints
+    far beyond every cache can pass a smaller value because there is no
+    cache state worth establishing.
+    """
+    if space not in ("global", "local"):
+        raise ConfigurationError(f"space must be 'global' or 'local', not {space!r}")
+    if footprint_bytes < stride_bytes:
+        raise ConfigurationError("footprint must be at least one stride")
+    gpu = GPU(config, tracker=LatencyTracker(enabled=False))
+    num_elements = footprint_bytes // stride_bytes
+    if warm_accesses is None:
+        warm_accesses = num_elements
+    warm_accesses = _round_up(max(warm_accesses, unroll), unroll)
+    extra_accesses = _round_up(max(measure_accesses, unroll), unroll)
+    sink = gpu.allocate(WORD_SIZE, name="chase.sink")
+
+    if space == "global":
+        base, _ = setup_pointer_chain(gpu, footprint_bytes, stride_bytes)
+        program = build_global_chase_kernel(unroll)
+
+        def launch(accesses: int):
+            return gpu.launch(
+                program, grid_dim=1, block_dim=1,
+                params={"start": base, "n_accesses": accesses, "sink": sink},
+            )
+    else:
+        program = build_local_chase_kernel(footprint_bytes, unroll)
+        local_base = gpu.allocate(program.local_bytes, name="chase.local")
+
+        def launch(accesses: int):
+            return gpu.launch(
+                program, grid_dim=1, block_dim=1,
+                params={
+                    "stride": stride_bytes,
+                    "n_elements": num_elements,
+                    "n_accesses": accesses,
+                    "sink": sink,
+                },
+                local_base=local_base,
+            )
+
+    launch(warm_accesses)                      # warm-up: populate the caches
+    baseline = launch(warm_accesses)           # W accesses, warm
+    measured = launch(warm_accesses + extra_accesses)  # W + N accesses, warm
+    delta = measured.cycles - baseline.cycles
+    return ChaseMeasurement(
+        config_name=config.name,
+        space=space,
+        footprint_bytes=footprint_bytes,
+        stride_bytes=stride_bytes,
+        measured_accesses=extra_accesses,
+        cycles_per_access=delta / extra_accesses,
+        baseline_cycles=baseline.cycles,
+        measured_cycles=measured.cycles,
+    )
+
+
+def sweep_chase_latency(
+    config: GPUConfig,
+    footprints: Iterable[int],
+    strides: Iterable[int],
+    space: str = "global",
+    measure_accesses: int = DEFAULT_MEASURE_ACCESSES,
+) -> LatencySurface:
+    """Measure the full (footprint, stride) grid for one configuration."""
+    measurements = []
+    for footprint in footprints:
+        for stride in strides:
+            if stride > footprint:
+                continue
+            measurements.append(
+                measure_chase_latency(
+                    config, footprint, stride, space=space,
+                    measure_accesses=measure_accesses,
+                )
+            )
+    return LatencySurface(config_name=config.name, space=space,
+                          measurements=measurements)
+
+
+def default_footprints(config: GPUConfig,
+                       points_per_decade: int = 2) -> List[int]:
+    """A footprint sweep spanning from below L1 to beyond the total L2."""
+    l1_bytes = config.l1_bytes() or 8 * 1024
+    l2_bytes = config.total_l2_bytes() or 64 * 1024
+    smallest = max(1024, l1_bytes // 8)
+    largest = max(2 * l2_bytes, 4 * l1_bytes)
+    footprints = []
+    footprint = smallest
+    while footprint <= largest:
+        footprints.append(footprint)
+        footprint *= 2
+    return footprints
+
+
+def regime_footprints(config: GPUConfig) -> Dict[str, Optional[int]]:
+    """Representative footprints for the L1-hit, L2-hit, and DRAM regimes.
+
+    The L1 regime uses half the L1 capacity, the L2 regime uses half of the
+    aggregate L2 (which exceeds the L1, so L1 misses), and the DRAM regime
+    uses four times the aggregate L2.  Levels that a configuration does not
+    have map to ``None``.
+    """
+    l1_bytes = config.l1_bytes()
+    l2_bytes = config.total_l2_bytes()
+    regimes: Dict[str, Optional[int]] = {"l1": None, "l2": None, "dram": None}
+    if l1_bytes:
+        regimes["l1"] = l1_bytes // 2
+    if l2_bytes:
+        regimes["l2"] = max(l2_bytes // 2, (l1_bytes or 0) * 4)
+        regimes["dram"] = 2 * l2_bytes
+    else:
+        regimes["dram"] = 4 * (l1_bytes or 64 * 1024)
+    return regimes

@@ -1,0 +1,129 @@
+"""Memory-pipeline stages and lifetime events.
+
+The paper instruments GPGPU-Sim to "emit timestamps whenever a given memory
+request moves from one stage of the memory pipeline to the next" and then
+breaks each request's lifetime into eight components (Figure 1's legend).
+This module defines both:
+
+* :class:`Event` — the points in a request's life at which the simulator
+  records a timestamp, and
+* :class:`Stage` — the eight latency components of Figure 1 into which the
+  gaps between consecutive events are classified.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+from typing import Dict, List, Tuple
+
+
+@unique
+class Event(Enum):
+    """Timestamped transition points in a memory request's lifetime."""
+
+    ISSUE = "issue"                    # request created by the LD/ST unit
+    L1_ACCESS = "l1_access"            # request accesses the L1 data cache
+    ICNT_INJECT = "icnt_inject"        # request leaves the SM's miss queue
+    ROP_ARRIVE = "rop_arrive"          # request arrives at the partition (ROP)
+    L2Q_ARRIVE = "l2q_arrive"          # request enters the L2 request queue
+    L2_DATA = "l2_data"                # L2 hit data becomes available
+    DRAM_Q_ARRIVE = "dram_q_arrive"    # request enters the DRAM scheduler queue
+    DRAM_SCHEDULED = "dram_scheduled"  # DRAM scheduler selects the request
+    DRAM_DATA = "dram_data"            # DRAM data burst completes
+    COMPLETE = "complete"              # data written back at the SM
+
+#: Canonical ordering of events along the memory pipeline.
+EVENT_ORDER: Tuple[Event, ...] = (
+    Event.ISSUE,
+    Event.L1_ACCESS,
+    Event.ICNT_INJECT,
+    Event.ROP_ARRIVE,
+    Event.L2Q_ARRIVE,
+    Event.L2_DATA,
+    Event.DRAM_Q_ARRIVE,
+    Event.DRAM_SCHEDULED,
+    Event.DRAM_DATA,
+    Event.COMPLETE,
+)
+
+
+@unique
+class Stage(Enum):
+    """The eight latency components used in the paper's Figure 1."""
+
+    SM_BASE = "SM Base"
+    L1_TO_ICNT = "L1toICNT"
+    ICNT_TO_ROP = "ICNTtoROP"
+    ROP_TO_L2Q = "ROPtoL2Q"
+    L2Q_TO_DRAMQ = "L2QtoDRAMQ"
+    DRAM_Q_TO_SCH = "DRAM(QtoSch)"
+    DRAM_SCH_TO_A = "DRAM(SchToA)"
+    FETCH_TO_SM = "Fetch2SM"
+
+
+#: Ordering of stages used for stacked-breakdown reports (paper legend order).
+STAGE_ORDER: Tuple[Stage, ...] = (
+    Stage.SM_BASE,
+    Stage.L1_TO_ICNT,
+    Stage.ICNT_TO_ROP,
+    Stage.ROP_TO_L2Q,
+    Stage.L2Q_TO_DRAMQ,
+    Stage.DRAM_Q_TO_SCH,
+    Stage.DRAM_SCH_TO_A,
+    Stage.FETCH_TO_SM,
+)
+
+#: Which stage the gap starting at a given event belongs to.  The stage of
+#: the gap "event -> next recorded event" is looked up here; gaps starting
+#: at events not listed (COMPLETE) do not exist.
+_GAP_STAGE: Dict[Event, Stage] = {
+    Event.ISSUE: Stage.SM_BASE,
+    Event.L1_ACCESS: Stage.L1_TO_ICNT,
+    Event.ICNT_INJECT: Stage.ICNT_TO_ROP,
+    Event.ROP_ARRIVE: Stage.ROP_TO_L2Q,
+    Event.L2Q_ARRIVE: Stage.L2Q_TO_DRAMQ,
+    Event.L2_DATA: Stage.FETCH_TO_SM,
+    Event.DRAM_Q_ARRIVE: Stage.DRAM_Q_TO_SCH,
+    Event.DRAM_SCHEDULED: Stage.DRAM_SCH_TO_A,
+    Event.DRAM_DATA: Stage.FETCH_TO_SM,
+}
+
+
+def classify_lifetime(timestamps: Dict[Event, int]) -> Dict[Stage, int]:
+    """Break a request lifetime into per-stage cycle counts.
+
+    Parameters
+    ----------
+    timestamps:
+        Mapping from recorded :class:`Event` to the cycle it occurred.
+        ``ISSUE`` and ``COMPLETE`` must be present; intermediate events may
+        be missing (e.g. an L1 hit records only ISSUE, L1_ACCESS, COMPLETE).
+
+    Returns
+    -------
+    dict
+        Cycles attributed to each :class:`Stage` (stages not traversed map
+        to 0).  Special case: for requests that never left the SM (L1 hits),
+        the gap following ``L1_ACCESS`` is attributed to ``SM_BASE`` rather
+        than ``L1_TO_ICNT``, matching the paper's reading of Figure 1 where
+        short-latency buckets are "entirely filled with SM base time".
+    """
+    if Event.ISSUE not in timestamps or Event.COMPLETE not in timestamps:
+        raise ValueError("lifetime must contain ISSUE and COMPLETE timestamps")
+    present: List[Tuple[Event, int]] = [
+        (event, timestamps[event]) for event in EVENT_ORDER if event in timestamps
+    ]
+    breakdown: Dict[Stage, int] = {stage: 0 for stage in Stage}
+    left_sm = Event.ICNT_INJECT in timestamps
+    for (event, time), (_next_event, next_time) in zip(present, present[1:]):
+        gap = next_time - time
+        if gap < 0:
+            raise ValueError(
+                f"timestamps not monotonic: {event} at {time} followed by "
+                f"{_next_event} at {next_time}"
+            )
+        stage = _GAP_STAGE[event]
+        if event is Event.L1_ACCESS and not left_sm:
+            stage = Stage.SM_BASE
+        breakdown[stage] += gap
+    return breakdown

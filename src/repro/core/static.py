@@ -1,0 +1,162 @@
+"""Table I reproduction: per-generation L1 / L2 / DRAM load latencies.
+
+For every GPU generation the paper analyses, the pointer chase is run in
+three regimes chosen from the configuration's cache capacities:
+
+* *L1 regime*  — footprint of half the L1 capacity, so (nearly) every
+  access hits the L1.  On Kepler this regime uses the *local*-space chase
+  because global loads bypass the L1 on that generation; on Maxwell and
+  Tesla there is no L1 on the global/local path, so the entry is empty
+  (``x`` in the paper's table).
+* *L2 regime*  — footprint well above the L1 but below the aggregate L2.
+* *DRAM regime* — footprint well above the aggregate L2 (or any footprint
+  at all on Tesla, which has no caches on this path).
+
+The measured per-access latencies are the reproduction of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.pointer_chase import (
+    DEFAULT_MEASURE_ACCESSES,
+    ChaseMeasurement,
+    measure_chase_latency,
+    regime_footprints,
+)
+from repro.gpu.config import GPUConfig
+from repro.gpu.configs import (
+    GENERATION_LABELS,
+    TABLE_I_TARGETS,
+    get_config,
+    table_i_generations,
+)
+
+#: Memory-hierarchy levels reported in Table I, in row order.
+TABLE_I_LEVELS = ("l1", "l2", "dram")
+
+
+@dataclass
+class GenerationLatencies:
+    """Measured (and paper-reported) latencies for one GPU generation."""
+
+    config_name: str
+    label: str
+    measured: Dict[str, Optional[float]] = field(default_factory=dict)
+    paper: Dict[str, Optional[int]] = field(default_factory=dict)
+    measurements: List[ChaseMeasurement] = field(default_factory=list)
+
+    def relative_error(self, level: str) -> Optional[float]:
+        """Relative error |measured - paper| / paper for one level."""
+        measured = self.measured.get(level)
+        reported = self.paper.get(level)
+        if measured is None or reported is None:
+            return None
+        return abs(measured - reported) / reported
+
+
+@dataclass
+class TableIResult:
+    """The full Table I reproduction across all generations."""
+
+    generations: List[GenerationLatencies]
+
+    def row(self, config_name: str) -> GenerationLatencies:
+        """Result row for one configuration name."""
+        for generation in self.generations:
+            if generation.config_name == config_name:
+                return generation
+        raise KeyError(f"no generation {config_name!r} in Table I result")
+
+    def format_table(self) -> str:
+        """Render the result in the layout of the paper's Table I."""
+        headers = ["Unit"] + [
+            f"{generation.label}\n{generation.config_name.upper()}"
+            for generation in self.generations
+        ]
+        level_names = {"l1": "L1 D$", "l2": "L2 D$", "dram": "DRAM"}
+        lines = []
+        name_width = 8
+        col_width = 22
+        header_cells = ["Unit".ljust(name_width)] + [
+            f"{generation.label} {generation.config_name.upper()}".ljust(col_width)
+            for generation in self.generations
+        ]
+        lines.append(" | ".join(header_cells))
+        lines.append("-" * len(lines[0]))
+        for level in TABLE_I_LEVELS:
+            cells = [level_names[level].ljust(name_width)]
+            for generation in self.generations:
+                measured = generation.measured.get(level)
+                reported = generation.paper.get(level)
+                if measured is None and reported is None:
+                    cells.append("x".ljust(col_width))
+                else:
+                    measured_text = "x" if measured is None else f"{measured:.0f}"
+                    reported_text = "x" if reported is None else f"{reported}"
+                    cells.append(
+                        f"{measured_text} (paper {reported_text})".ljust(col_width)
+                    )
+            lines.append(" | ".join(cells))
+        del headers
+        return "\n".join(lines)
+
+
+def measure_generation(
+    config: GPUConfig,
+    stride_bytes: int = 128,
+    measure_accesses: int = DEFAULT_MEASURE_ACCESSES,
+) -> GenerationLatencies:
+    """Measure the three Table I latencies for one configuration."""
+    regimes = regime_footprints(config)
+    result = GenerationLatencies(
+        config_name=config.name,
+        label=GENERATION_LABELS.get(config.name, config.name),
+        paper=dict(TABLE_I_TARGETS.get(config.name, {})),
+    )
+    l1_serves_global = config.core.l1.enabled and config.core.l1.cache_global
+    l1_serves_local = config.core.l1.enabled and config.core.l1.cache_local
+    for level in TABLE_I_LEVELS:
+        footprint = regimes.get(level)
+        if footprint is None:
+            result.measured[level] = None
+            continue
+        if level == "l1" and not (l1_serves_global or l1_serves_local):
+            result.measured[level] = None
+            continue
+        space = "global"
+        if level == "l1" and not l1_serves_global:
+            # The Kepler case: the L1 is reachable only through local
+            # accesses, exactly as the paper measures it.
+            space = "local"
+        warm = None
+        if level == "dram":
+            warm = measure_accesses
+        measurement = measure_chase_latency(
+            config,
+            footprint_bytes=footprint,
+            stride_bytes=stride_bytes,
+            space=space,
+            measure_accesses=measure_accesses,
+            warm_accesses=warm,
+        )
+        result.measurements.append(measurement)
+        result.measured[level] = measurement.cycles_per_access
+    return result
+
+
+def reproduce_table_i(
+    config_names: Optional[List[str]] = None,
+    stride_bytes: int = 128,
+    measure_accesses: int = DEFAULT_MEASURE_ACCESSES,
+) -> TableIResult:
+    """Reproduce the paper's Table I across the requested generations."""
+    names = config_names if config_names is not None else table_i_generations()
+    generations = [
+        measure_generation(get_config(name), stride_bytes=stride_bytes,
+                           measure_accesses=measure_accesses)
+        for name in names
+    ]
+    return TableIResult(generations=generations)

@@ -1,0 +1,229 @@
+"""Memory-request and load-instruction latency instrumentation.
+
+This is the reproduction of the paper's simulator instrumentation: the
+tracker receives a timestamp every time an instruction-generated memory
+request moves between memory-pipeline stages (Section III / Figure 1) and
+records, for every warp-level global load instruction, when it issued and
+when its value became available, together with the cycles in which the
+issuing SM managed to issue *any* instruction — the raw material of the
+exposed/hidden latency analysis (Figure 2).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.stages import Event, Stage, classify_lifetime
+
+
+@dataclass
+class RequestRecord:
+    """Completed lifetime of one tracked memory request."""
+
+    request_id: int
+    address: int
+    is_write: bool
+    space: str
+    sm_id: int
+    warp_id: int
+    pc: int
+    timestamps: Dict[Event, int] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> int:
+        """Total lifetime in cycles (issue to writeback)."""
+        return self.timestamps[Event.COMPLETE] - self.timestamps[Event.ISSUE]
+
+    def breakdown(self) -> Dict[Stage, int]:
+        """Per-stage cycle breakdown of this request's lifetime."""
+        return classify_lifetime(self.timestamps)
+
+
+@dataclass
+class LoadRecord:
+    """Completed lifetime of one warp-level load instruction."""
+
+    sm_id: int
+    warp_id: int
+    pc: int
+    space: str
+    issue_cycle: int
+    complete_cycle: int
+    num_requests: int
+    l1_hit: bool
+
+    @property
+    def latency(self) -> int:
+        """Cycles from issue until the loaded value was written back."""
+        return self.complete_cycle - self.issue_cycle
+
+
+class LatencyTracker:
+    """Collects request lifetimes, load lifetimes, and SM issue activity.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` all recording methods become no-ops, which is useful
+        for throughput-only simulations.
+    track_writes:
+        Whether write (store) requests should be kept in the completed
+        record list.  The paper analyses memory *fetches* (reads), so the
+        default is ``False``.
+    """
+
+    def __init__(self, enabled: bool = True, track_writes: bool = False) -> None:
+        self.enabled = enabled
+        self.track_writes = track_writes
+        self.requests: List[RequestRecord] = []
+        self.loads: List[LoadRecord] = []
+        self._busy_cycles: Dict[int, List[int]] = {}
+        self.dropped_requests = 0
+
+    # ------------------------------------------------------------------
+    # Memory request lifetimes
+    # ------------------------------------------------------------------
+    def record_event(self, request: "object", event: Event, cycle: int) -> None:
+        """Record that ``request`` reached ``event`` at ``cycle``.
+
+        ``request`` is any object with a ``timestamps`` dict attribute (the
+        simulator's ``MemoryRequest``); the tracker does not retain it until
+        :meth:`finish_request` is called.
+        """
+        if not self.enabled:
+            return
+        request.timestamps[event] = cycle
+
+    def finish_request(self, request: "object", cycle: int) -> None:
+        """Mark ``request`` complete and store its lifetime record."""
+        if not self.enabled:
+            return
+        request.timestamps[Event.COMPLETE] = cycle
+        if not getattr(request, "tracked", True):
+            self.dropped_requests += 1
+            return
+        if request.is_write and not self.track_writes:
+            return
+        self.requests.append(
+            RequestRecord(
+                request_id=request.request_id,
+                address=request.address,
+                is_write=request.is_write,
+                space=request.space.value,
+                sm_id=request.sm_id,
+                warp_id=request.warp_id,
+                pc=request.pc,
+                timestamps=dict(request.timestamps),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Warp-level load instruction lifetimes
+    # ------------------------------------------------------------------
+    def record_load(
+        self,
+        sm_id: int,
+        warp_id: int,
+        pc: int,
+        space: str,
+        issue_cycle: int,
+        complete_cycle: int,
+        num_requests: int,
+        l1_hit: bool,
+    ) -> None:
+        """Record the lifetime of one warp-level load instruction."""
+        if not self.enabled:
+            return
+        self.loads.append(
+            LoadRecord(
+                sm_id=sm_id,
+                warp_id=warp_id,
+                pc=pc,
+                space=space,
+                issue_cycle=issue_cycle,
+                complete_cycle=complete_cycle,
+                num_requests=num_requests,
+                l1_hit=l1_hit,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # SM issue activity (for exposed-latency accounting)
+    # ------------------------------------------------------------------
+    def note_issue_cycle(self, sm_id: int, cycle: int) -> None:
+        """Record that SM ``sm_id`` issued at least one instruction at ``cycle``.
+
+        The caller must invoke this at most once per (SM, cycle) and with
+        non-decreasing cycle numbers, which the SM model guarantees.
+        """
+        if not self.enabled:
+            return
+        cycles = self._busy_cycles.setdefault(sm_id, [])
+        if cycles and cycles[-1] == cycle:
+            return
+        cycles.append(cycle)
+
+    def busy_cycles_in(self, sm_id: int, start: int, end: int) -> int:
+        """Number of cycles in ``[start, end)`` where the SM issued work."""
+        cycles = self._busy_cycles.get(sm_id)
+        if not cycles:
+            return 0
+        return bisect_left(cycles, end) - bisect_left(cycles, start)
+
+    def exposed_cycles(self, load: LoadRecord) -> int:
+        """Exposed (non-hidden) cycles of a load's lifetime.
+
+        A cycle of a load's lifetime is *hidden* if the issuing SM issued at
+        least one instruction (from any warp) during that cycle, and
+        *exposed* otherwise — the same criterion the paper uses: latency is
+        exposed when it "cannot be hidden through the execution of other
+        independent work from the same or other in-flight threads".
+        """
+        total = load.latency
+        hidden = self.busy_cycles_in(load.sm_id, load.issue_cycle, load.complete_cycle)
+        return max(total - hidden, 0)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def read_requests(self, space: Optional[str] = None) -> List[RequestRecord]:
+        """Completed read-request records, optionally filtered by space."""
+        records = [r for r in self.requests if not r.is_write]
+        if space is not None:
+            records = [r for r in records if r.space == space]
+        return records
+
+    def global_loads(self) -> List[LoadRecord]:
+        """Completed warp-level load records for the global space."""
+        return [l for l in self.loads if l.space == "global"]
+
+    def clear(self) -> None:
+        """Drop all recorded data (between kernel launches, if desired)."""
+        self.requests.clear()
+        self.loads.clear()
+        self._busy_cycles.clear()
+        self.dropped_requests = 0
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics over all completed tracked requests."""
+        reads = self.read_requests()
+        result: Dict[str, float] = {
+            "tracked_requests": len(self.requests),
+            "tracked_reads": len(reads),
+            "tracked_loads": len(self.loads),
+        }
+        if reads:
+            latencies = [r.latency for r in reads]
+            result["read_latency_min"] = float(min(latencies))
+            result["read_latency_max"] = float(max(latencies))
+            result["read_latency_mean"] = float(sum(latencies)) / len(latencies)
+        if self.loads:
+            exposed = [self.exposed_cycles(l) for l in self.loads]
+            total = [l.latency for l in self.loads]
+            result["load_latency_mean"] = float(sum(total)) / len(total)
+            result["exposed_fraction_mean"] = (
+                float(sum(exposed)) / max(sum(total), 1)
+            )
+        return result

@@ -1,0 +1,32 @@
+"""GPU assembly: configuration presets, the GPU itself, and kernel launch."""
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.configs import (
+    GENERATION_LABELS,
+    TABLE_I_TARGETS,
+    available_configs,
+    fermi_gf100,
+    fermi_gf106,
+    get_config,
+    kepler_gk104,
+    maxwell_gm107,
+    table_i_generations,
+    tesla_gt200,
+)
+from repro.gpu.gpu import GPU, KernelResult
+
+__all__ = [
+    "GENERATION_LABELS",
+    "GPU",
+    "GPUConfig",
+    "KernelResult",
+    "TABLE_I_TARGETS",
+    "available_configs",
+    "fermi_gf100",
+    "fermi_gf106",
+    "get_config",
+    "kepler_gk104",
+    "maxwell_gm107",
+    "table_i_generations",
+    "tesla_gt200",
+]

@@ -1,0 +1,74 @@
+"""Top-level GPU configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.address import AddressMapping
+from repro.memory.interconnect import InterconnectConfig
+from repro.memory.partition import PartitionConfig
+from repro.simt.coreconfig import CoreConfig
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Configuration of a complete simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (e.g. ``"gf106"``) used in reports.
+    description:
+        Human-readable description of what the configuration models.
+    num_sms:
+        Number of streaming multiprocessors.
+    core:
+        Per-SM configuration (schedulers, pipelines, L1).
+    interconnect:
+        Crossbar parameters shared by the request and reply networks.
+    mapping:
+        Address interleaving across memory partitions and DRAM banks.
+    partition:
+        Per-partition configuration (ROP delay, L2 slice, DRAM channel).
+    global_memory_bytes:
+        Size of the functional global memory backing store.
+    max_cycles:
+        Safety limit on simulated cycles per kernel launch.
+    """
+
+    name: str
+    description: str = ""
+    num_sms: int = 4
+    core: CoreConfig = field(default_factory=CoreConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    mapping: AddressMapping = field(default_factory=AddressMapping)
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+    global_memory_bytes: int = 64 * 1024 * 1024
+    max_cycles: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ConfigurationError("num_sms must be >= 1")
+        if self.global_memory_bytes < 1024:
+            raise ConfigurationError("global_memory_bytes unreasonably small")
+        if self.max_cycles < 1:
+            raise ConfigurationError("max_cycles must be >= 1")
+
+    def replace(self, **overrides) -> "GPUConfig":
+        """Return a copy of this configuration with fields overridden."""
+        return dataclasses.replace(self, **overrides)
+
+    def total_l2_bytes(self) -> int:
+        """Aggregate L2 capacity across all partitions (0 when disabled)."""
+        if not self.partition.l2_enabled or self.partition.l2 is None:
+            return 0
+        return self.partition.l2.geometry.size_bytes * self.mapping.num_partitions
+
+    def l1_bytes(self) -> Optional[int]:
+        """L1 data cache capacity per SM (``None`` when disabled)."""
+        if not self.core.l1.enabled:
+            return None
+        return self.core.l1.geometry.size_bytes

@@ -1,0 +1,265 @@
+"""Per-generation GPU configuration presets.
+
+One preset exists for every GPU the paper analyses:
+
+* ``gt200``  — Tesla generation (Table I column 1): global/local accesses
+  are uncached, so every load pays the DRAM latency.
+* ``gf106``  — Fermi generation (Table I column 2): L1 and L2 on the
+  global/local path.
+* ``gf100``  — Fermi GF100-like configuration used for the *dynamic*
+  latency analysis (Figures 1 and 2), mirroring the pre-validated
+  GPGPU-Sim configuration the paper uses.
+* ``gk104``  — Kepler generation (Table I column 3): the L1 serves local
+  accesses only; global loads go to the L2.
+* ``gm107``  — Maxwell generation (Table I column 4): no L1 on the
+  global/local path at all; L2 and DRAM slower than Kepler's.
+
+Capacities are scaled down relative to the real chips (16 KB L1 slices and
+tens of KB of L2) so that cache-exceeding workloads stay small enough for a
+pure-Python cycle-level simulation; the *latencies* are not scaled.  The
+latency calibration constants below were derived with
+:func:`repro.core.calibrate.calibrate_config` so that the unloaded pointer
+chase reproduces Table I of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.gpu.config import GPUConfig
+from repro.memory.address import AddressMapping
+from repro.memory.cache import CacheGeometry
+from repro.memory.dram import DRAMTiming
+from repro.memory.interconnect import InterconnectConfig
+from repro.memory.l2cache import L2SliceConfig
+from repro.memory.partition import PartitionConfig
+from repro.simt.coreconfig import CoreConfig, L1Config
+from repro.utils.errors import ConfigurationError
+
+#: Paper Table I, in hot-clock cycles.  ``None`` marks a level that does not
+#: exist on the global/local memory path of that generation.
+TABLE_I_TARGETS: Dict[str, Dict[str, Optional[int]]] = {
+    "gt200": {"l1": None, "l2": None, "dram": 440},
+    "gf106": {"l1": 45, "l2": 310, "dram": 685},
+    "gk104": {"l1": 30, "l2": 175, "dram": 300},
+    "gm107": {"l1": None, "l2": 194, "dram": 350},
+}
+
+#: Generation labels used for Table I style reports.
+GENERATION_LABELS: Dict[str, str] = {
+    "gt200": "Tesla",
+    "gf106": "Fermi",
+    "gf100": "Fermi (GF100)",
+    "gk104": "Kepler",
+    "gm107": "Maxwell",
+}
+
+
+def _build_config(
+    name: str,
+    description: str,
+    num_sms: int,
+    l1_enabled: bool,
+    l1_cache_global: bool,
+    l1_hit_latency: int,
+    sm_base_latency: int,
+    writeback_latency: int,
+    icnt_latency: int,
+    rop_latency: int,
+    l2_enabled: bool,
+    l2_hit_latency: int,
+    dram_service_pad: int,
+    dram_scheduler: str = "frfcfs",
+    warp_scheduler: str = "gto",
+    num_partitions: int = 4,
+    l1_size: int = 16 * 1024,
+    l2_slice_size: int = 32 * 1024,
+) -> GPUConfig:
+    """Assemble a :class:`GPUConfig` from per-generation latency knobs."""
+    l1 = L1Config(
+        enabled=l1_enabled,
+        cache_global=l1_cache_global,
+        cache_local=True,
+        geometry=CacheGeometry(l1_size, 128, 4, name=f"{name}.l1d"),
+        hit_latency=l1_hit_latency,
+        mshr_entries=32,
+        mshr_max_merge=8,
+        miss_queue_size=16,
+    )
+    core = CoreConfig(
+        warp_scheduler=warp_scheduler,
+        sm_base_latency=sm_base_latency,
+        writeback_latency=writeback_latency,
+        l1=l1,
+    )
+    l2 = L2SliceConfig(
+        geometry=CacheGeometry(l2_slice_size, 128, 8, name=f"{name}.l2"),
+        hit_latency=l2_hit_latency,
+        mshr_entries=32,
+        mshr_max_merge=8,
+        input_queue_size=8,
+    )
+    partition = PartitionConfig(
+        rop_latency=rop_latency,
+        rop_queue_size=16,
+        l2_enabled=l2_enabled,
+        l2=l2 if l2_enabled else None,
+        dram=DRAMTiming(
+            t_rcd=18,
+            t_rp=18,
+            t_cas=18,
+            burst_cycles=4,
+            service_pad=dram_service_pad,
+            queue_size=64,
+            num_banks=8,
+            scheduler=dram_scheduler,
+        ),
+        return_queue_size=8,
+    )
+    return GPUConfig(
+        name=name,
+        description=description,
+        num_sms=num_sms,
+        core=core,
+        interconnect=InterconnectConfig(
+            latency=icnt_latency,
+            accept_per_cycle=1,
+            output_queue_size=8,
+            credit_limit=16,
+        ),
+        mapping=AddressMapping(
+            num_partitions=num_partitions,
+            partition_chunk=256,
+            row_bytes=2048,
+            num_banks=8,
+        ),
+        partition=partition,
+    )
+
+
+def tesla_gt200() -> GPUConfig:
+    """Tesla-generation configuration: uncached global/local accesses."""
+    return _build_config(
+        name="gt200",
+        description="Tesla GT200-like: no L1/L2 on the global path, DRAM ~440",
+        num_sms=4,
+        l1_enabled=False,
+        l1_cache_global=False,
+        l1_hit_latency=20,
+        sm_base_latency=8,
+        writeback_latency=4,
+        icnt_latency=14,
+        rop_latency=30,
+        l2_enabled=False,
+        l2_hit_latency=100,
+        dram_service_pad=345,
+    )
+
+
+def fermi_gf106() -> GPUConfig:
+    """Fermi GF106-like configuration used for the static analysis."""
+    return _build_config(
+        name="gf106",
+        description="Fermi GF106-like: L1 ~45, L2 ~310, DRAM ~685",
+        num_sms=4,
+        l1_enabled=True,
+        l1_cache_global=True,
+        l1_hit_latency=33,
+        sm_base_latency=8,
+        writeback_latency=4,
+        icnt_latency=20,
+        rop_latency=60,
+        l2_enabled=True,
+        l2_hit_latency=197,
+        dram_service_pad=548,
+    )
+
+
+def fermi_gf100() -> GPUConfig:
+    """Fermi GF100-like configuration used for the dynamic analysis."""
+    config = _build_config(
+        name="gf100",
+        description=(
+            "Fermi GF100-like (GPGPU-Sim style) configuration for the "
+            "dynamic latency analysis"
+        ),
+        num_sms=4,
+        l1_enabled=True,
+        l1_cache_global=True,
+        l1_hit_latency=33,
+        sm_base_latency=8,
+        writeback_latency=4,
+        icnt_latency=20,
+        rop_latency=60,
+        l2_enabled=True,
+        l2_hit_latency=197,
+        dram_service_pad=548,
+    )
+    return config
+
+
+def kepler_gk104() -> GPUConfig:
+    """Kepler GK104-like configuration: L1 serves local accesses only."""
+    return _build_config(
+        name="gk104",
+        description="Kepler GK104-like: L1 local-only ~30, L2 ~175, DRAM ~300",
+        num_sms=4,
+        l1_enabled=True,
+        l1_cache_global=False,
+        l1_hit_latency=19,
+        sm_base_latency=6,
+        writeback_latency=4,
+        icnt_latency=12,
+        rop_latency=30,
+        l2_enabled=True,
+        l2_hit_latency=110,
+        dram_service_pad=211,
+    )
+
+
+def maxwell_gm107() -> GPUConfig:
+    """Maxwell GM107-like configuration: no L1 on the global/local path."""
+    return _build_config(
+        name="gm107",
+        description="Maxwell GM107-like: no L1, L2 ~194, DRAM ~350",
+        num_sms=4,
+        l1_enabled=False,
+        l1_cache_global=False,
+        l1_hit_latency=17,
+        sm_base_latency=6,
+        writeback_latency=4,
+        icnt_latency=12,
+        rop_latency=36,
+        l2_enabled=True,
+        l2_hit_latency=123,
+        dram_service_pad=255,
+    )
+
+
+_CONFIG_FACTORIES = {
+    "gt200": tesla_gt200,
+    "gf106": fermi_gf106,
+    "gf100": fermi_gf100,
+    "gk104": kepler_gk104,
+    "gm107": maxwell_gm107,
+}
+
+
+def available_configs() -> List[str]:
+    """Names of all built-in configurations."""
+    return sorted(_CONFIG_FACTORIES)
+
+
+def get_config(name: str) -> GPUConfig:
+    """Instantiate a built-in configuration by name."""
+    try:
+        return _CONFIG_FACTORIES[name]()
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown GPU configuration {name!r}; available: {available_configs()}"
+        ) from exc
+
+
+def table_i_generations() -> List[str]:
+    """Configuration names that appear in the paper's Table I, in order."""
+    return ["gt200", "gf106", "gk104", "gm107"]

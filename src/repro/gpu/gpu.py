@@ -1,0 +1,207 @@
+"""Top-level GPU: SMs + memory system + kernel launch and simulation loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.tracker import LatencyTracker
+from repro.gpu.config import GPUConfig
+from repro.isa.program import Program
+from repro.memory.globalmem import GlobalMemory
+from repro.memory.subsystem import MemorySystem
+from repro.simt.core import KernelLaunch, StreamingMultiprocessor
+from repro.utils.errors import SimulationError
+from repro.utils.stats import StatCounters
+
+
+@dataclass
+class KernelResult:
+    """Outcome of one kernel launch.
+
+    Attributes
+    ----------
+    kernel_name:
+        Name of the launched program.
+    cycles:
+        Simulated cycles from launch to completion of all CTAs (and
+        draining of all in-flight memory traffic).
+    start_cycle / end_cycle:
+        Absolute simulation cycle numbers of launch and completion.
+    instructions:
+        Warp-level instructions issued during the launch.
+    stats:
+        Aggregated counters from all SMs and the memory system.
+    """
+
+    kernel_name: str
+    cycles: int
+    start_cycle: int
+    end_cycle: int
+    instructions: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Warp-level instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class GPU:
+    """A complete simulated GPU.
+
+    Parameters
+    ----------
+    config:
+        The GPU configuration (use the presets in
+        :mod:`repro.gpu.configs` or build your own).
+    tracker:
+        Latency instrumentation shared by all components.  A fresh enabled
+        tracker is created when omitted.
+    """
+
+    def __init__(self, config: GPUConfig,
+                 tracker: Optional[LatencyTracker] = None) -> None:
+        self.config = config
+        self.tracker = tracker if tracker is not None else LatencyTracker()
+        self.global_memory = GlobalMemory(config.global_memory_bytes)
+        self.memory_system = MemorySystem(
+            num_sms=config.num_sms,
+            mapping=config.mapping,
+            icnt_config=config.interconnect,
+            partition_config=config.partition,
+            tracker=self.tracker,
+        )
+        self.sms: List[StreamingMultiprocessor] = [
+            StreamingMultiprocessor(
+                sm_id=sm_id,
+                config=config.core,
+                memory_system=self.memory_system,
+                global_memory=self.global_memory,
+                tracker=self.tracker,
+            )
+            for sm_id in range(config.num_sms)
+        ]
+        self.cycle = 0
+        self.kernels_launched = 0
+
+    # ------------------------------------------------------------------
+    # Memory convenience wrappers
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int, name: Optional[str] = None) -> int:
+        """Allocate global memory (see :meth:`GlobalMemory.allocate`)."""
+        return self.global_memory.allocate(nbytes, name=name)
+
+    # ------------------------------------------------------------------
+    # Kernel launch
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        program: Program,
+        grid_dim: int,
+        block_dim: int,
+        params: Optional[Dict[str, float]] = None,
+        local_base: Optional[int] = None,
+        max_cycles: Optional[int] = None,
+    ) -> KernelResult:
+        """Execute one kernel grid to completion and return its result.
+
+        The simulation is cycle driven with an idle fast-forward: when no
+        warp can issue, the clock jumps to the next cycle at which any
+        component (pipeline, queue, DRAM bank, ...) has work, which makes
+        single-warp microbenchmarks cheap to simulate.
+        """
+        params = dict(params or {})
+        total_threads = grid_dim * block_dim
+        if program.local_bytes and local_base is None:
+            local_base = self.global_memory.allocate(
+                program.local_bytes * total_threads,
+                name=f"{program.name}.local.{self.kernels_launched}",
+            )
+        launch = KernelLaunch(
+            program=program,
+            grid_dim=grid_dim,
+            block_dim=block_dim,
+            params=params,
+            local_base=local_base or 0,
+        )
+        self.kernels_launched += 1
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        start_cycle = self.cycle
+        start_instructions = self._instructions_issued()
+        pending = list(range(grid_dim))
+        self._assign_ctas(pending, launch)
+        while True:
+            self.memory_system.cycle(self.cycle)
+            issued = False
+            for sm in self.sms:
+                issued = sm.cycle(self.cycle) or issued
+            if pending:
+                self._assign_ctas(pending, launch)
+            if self._kernel_finished(pending):
+                break
+            if self.cycle - start_cycle > limit:
+                raise SimulationError(
+                    f"kernel {program.name!r} exceeded {limit} cycles"
+                )
+            self._advance_clock(issued)
+        end_cycle = self.cycle
+        self.cycle += 1
+        return KernelResult(
+            kernel_name=program.name,
+            cycles=end_cycle - start_cycle,
+            start_cycle=start_cycle,
+            end_cycle=end_cycle,
+            instructions=self._instructions_issued() - start_instructions,
+            stats=self.collect_stats().as_dict(),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _assign_ctas(self, pending: List[int], launch: KernelLaunch) -> None:
+        for sm in self.sms:
+            while pending and sm.can_accept_cta(launch):
+                sm.launch_cta(pending.pop(0), launch, self.cycle)
+
+    def _kernel_finished(self, pending: List[int]) -> bool:
+        if pending:
+            return False
+        if any(sm.busy() for sm in self.sms):
+            return False
+        return self.memory_system.in_flight() == 0
+
+    def _advance_clock(self, issued: bool) -> None:
+        if issued:
+            self.cycle += 1
+            return
+        candidates = []
+        memory_next = self.memory_system.next_event_time(self.cycle)
+        if memory_next is not None:
+            candidates.append(memory_next)
+        for sm in self.sms:
+            sm_next = sm.next_event_time(self.cycle)
+            if sm_next is not None:
+                candidates.append(sm_next)
+        if not candidates:
+            raise SimulationError(
+                "simulation deadlock: nothing issued and no pending events"
+            )
+        self.cycle = max(min(candidates), self.cycle + 1)
+
+    def _instructions_issued(self) -> int:
+        return int(
+            sum(sm.stats.get("instructions_issued", 0) for sm in self.sms)
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def collect_stats(self) -> StatCounters:
+        """Aggregate statistics from all SMs and the memory system."""
+        combined = StatCounters(prefix=self.config.name)
+        for sm in self.sms:
+            combined.merge(sm.collect_stats().as_dict())
+        combined.merge(self.memory_system.collect_stats().as_dict())
+        combined.set("cycles", self.cycle)
+        return combined

@@ -1,0 +1,27 @@
+"""SIMT instruction set: operands, opcodes, programs, and the kernel builder."""
+
+from repro.isa.builder import KernelBuilder, Label, LoopContext
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode, Unit, unit_for
+from repro.isa.operands import Imm, Param, Pred, Reg, Special
+from repro.isa.program import Program
+from repro.isa import semantics
+
+__all__ = [
+    "CmpOp",
+    "Imm",
+    "Instruction",
+    "KernelBuilder",
+    "Label",
+    "LoopContext",
+    "MemSpace",
+    "Opcode",
+    "Param",
+    "Pred",
+    "Program",
+    "Reg",
+    "Special",
+    "Unit",
+    "semantics",
+    "unit_for",
+]

@@ -1,0 +1,502 @@
+"""Structured kernel builder.
+
+Kernels for the simulator are written in Python using a
+:class:`KernelBuilder`.  The builder provides:
+
+* register and predicate allocation,
+* one emit method per opcode (``iadd``, ``ld_global``, ``setp``, ...),
+* structured control flow (``if_``, ``if_else``, ``while_loop``,
+  ``for_range``) that automatically computes the reconvergence points
+  required by the SIMT divergence stack, and
+* shared/local memory allocation.
+
+Because control flow is structured, the immediate post-dominator of every
+divergent branch is known at construction time and recorded in the
+instruction's ``reconv`` field — the same information GPGPU-Sim obtains
+from PTX analysis.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode
+from repro.isa.operands import Imm, Param, Pred, Reg, Special
+from repro.isa.program import Program
+from repro.utils.errors import AssemblyError
+
+OperandLike = Union[Reg, Pred, Imm, Special, Param, int, float]
+
+
+class Label:
+    """A forward-referencable position in the instruction stream."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.position: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"Label({self.name}, pos={self.position})"
+
+
+class LoopContext:
+    """Handle yielded by :meth:`KernelBuilder.while_loop` for loop exits."""
+
+    def __init__(self, builder: "KernelBuilder", start: Label, end: Label) -> None:
+        self._builder = builder
+        self.start = start
+        self.end = end
+
+    def break_if(self, pred: Pred, negate: bool = False) -> None:
+        """Exit the loop for lanes where the predicate holds."""
+        self._builder._emit_branch(self.end, guard=(pred, negate), reconv=self.end)
+
+    def break_always(self) -> None:
+        """Unconditionally exit the loop (all active lanes)."""
+        self._builder._emit_branch(self.end)
+
+
+class KernelBuilder:
+    """Builds a :class:`~repro.isa.program.Program` from structured Python."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._fixups: List[Tuple[Instruction, Optional[Label], Optional[Label]]] = []
+        self._next_register = 0
+        self._next_predicate = 0
+        self._labels: List[Label] = []
+        self._params: List[str] = []
+        self._shared_bytes = 0
+        self._local_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Resource allocation
+    # ------------------------------------------------------------------
+    def reg(self, count: int = 1) -> Union[Reg, List[Reg]]:
+        """Allocate ``count`` fresh general-purpose registers."""
+        regs = [Reg(self._next_register + i) for i in range(count)]
+        self._next_register += count
+        return regs[0] if count == 1 else regs
+
+    def pred(self, count: int = 1) -> Union[Pred, List[Pred]]:
+        """Allocate ``count`` fresh predicate registers."""
+        preds = [Pred(self._next_predicate + i) for i in range(count)]
+        self._next_predicate += count
+        return preds[0] if count == 1 else preds
+
+    def param(self, name: str) -> Param:
+        """Declare (or reference) a launch-time scalar parameter."""
+        if name not in self._params:
+            self._params.append(name)
+        return Param(name)
+
+    def shared_alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` of per-CTA shared memory; returns byte offset."""
+        offset = self._shared_bytes
+        self._shared_bytes += nbytes
+        return offset
+
+    def local_alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` of per-thread local memory; returns byte offset."""
+        offset = self._local_bytes
+        self._local_bytes += nbytes
+        return offset
+
+    # ------------------------------------------------------------------
+    # Special registers
+    # ------------------------------------------------------------------
+    @property
+    def tid(self) -> Special:
+        """Thread index within the CTA."""
+        return Special("tid")
+
+    @property
+    def ctaid(self) -> Special:
+        """CTA index within the grid."""
+        return Special("ctaid")
+
+    @property
+    def ntid(self) -> Special:
+        """Threads per CTA."""
+        return Special("ntid")
+
+    @property
+    def nctaid(self) -> Special:
+        """CTAs in the grid."""
+        return Special("nctaid")
+
+    @property
+    def laneid(self) -> Special:
+        """Lane index within the warp."""
+        return Special("laneid")
+
+    @property
+    def gtid(self) -> Special:
+        """Global thread index (``ctaid * ntid + tid``)."""
+        return Special("gtid")
+
+    # ------------------------------------------------------------------
+    # Emission primitives
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _operand(value: OperandLike) -> Union[Reg, Pred, Imm, Special, Param]:
+        if isinstance(value, (Reg, Pred, Imm, Special, Param)):
+            return value
+        if isinstance(value, (int, float)):
+            return Imm(float(value))
+        raise AssemblyError(f"cannot use {value!r} as an operand")
+
+    def _guard(
+        self, pred: Optional[Pred], negate: bool
+    ) -> Optional[Tuple[Pred, bool]]:
+        if pred is None:
+            return None
+        if not isinstance(pred, Pred):
+            raise AssemblyError(f"guard must be a predicate register, got {pred!r}")
+        return (pred, negate)
+
+    def _emit(self, instruction: Instruction) -> Instruction:
+        self._instructions.append(instruction)
+        return instruction
+
+    def _emit_op(
+        self,
+        opcode: Opcode,
+        dst: Optional[Union[Reg, Pred]],
+        srcs: Tuple[OperandLike, ...],
+        pred: Optional[Pred] = None,
+        negate: bool = False,
+        cmp: Optional[CmpOp] = None,
+        comment: str = "",
+    ) -> Instruction:
+        return self._emit(
+            Instruction(
+                opcode=opcode,
+                dst=dst,
+                srcs=tuple(self._operand(s) for s in srcs),
+                guard=self._guard(pred, negate),
+                cmp=cmp,
+                comment=comment,
+            )
+        )
+
+    def _emit_branch(
+        self,
+        target: Label,
+        guard: Optional[Tuple[Pred, bool]] = None,
+        reconv: Optional[Label] = None,
+    ) -> Instruction:
+        instruction = Instruction(opcode=Opcode.BRA, guard=guard)
+        self._emit(instruction)
+        self._fixups.append((instruction, target, reconv))
+        return instruction
+
+    def new_label(self, name: str = "") -> Label:
+        """Create an (initially unplaced) label."""
+        label = Label(name or f"L{len(self._labels)}")
+        self._labels.append(label)
+        return label
+
+    def place_label(self, label: Label) -> None:
+        """Bind ``label`` to the current position in the instruction stream."""
+        if label.position is not None:
+            raise AssemblyError(f"label {label.name} placed twice")
+        label.position = len(self._instructions)
+
+    # ------------------------------------------------------------------
+    # Arithmetic / logic / moves
+    # ------------------------------------------------------------------
+    def mov(self, dst: Reg, src: OperandLike, **kw) -> Instruction:
+        """``dst = src``"""
+        return self._emit_op(Opcode.MOV, dst, (src,), **kw)
+
+    def iadd(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a + b`` (integer)"""
+        return self._emit_op(Opcode.IADD, dst, (a, b), **kw)
+
+    def isub(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a - b`` (integer)"""
+        return self._emit_op(Opcode.ISUB, dst, (a, b), **kw)
+
+    def imul(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a * b`` (integer)"""
+        return self._emit_op(Opcode.IMUL, dst, (a, b), **kw)
+
+    def imad(
+        self, dst: Reg, a: OperandLike, b: OperandLike, c: OperandLike, **kw
+    ) -> Instruction:
+        """``dst = a * b + c`` (integer)"""
+        return self._emit_op(Opcode.IMAD, dst, (a, b, c), **kw)
+
+    def imin(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = min(a, b)`` (integer)"""
+        return self._emit_op(Opcode.IMIN, dst, (a, b), **kw)
+
+    def imax(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = max(a, b)`` (integer)"""
+        return self._emit_op(Opcode.IMAX, dst, (a, b), **kw)
+
+    def and_(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a & b``"""
+        return self._emit_op(Opcode.AND, dst, (a, b), **kw)
+
+    def or_(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a | b``"""
+        return self._emit_op(Opcode.OR, dst, (a, b), **kw)
+
+    def xor(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a ^ b``"""
+        return self._emit_op(Opcode.XOR, dst, (a, b), **kw)
+
+    def not_(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        """``dst = ~a``"""
+        return self._emit_op(Opcode.NOT, dst, (a,), **kw)
+
+    def shl(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a << b``"""
+        return self._emit_op(Opcode.SHL, dst, (a, b), **kw)
+
+    def shr(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a >> b``"""
+        return self._emit_op(Opcode.SHR, dst, (a, b), **kw)
+
+    def idiv(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a // b`` (integer, 0 when dividing by zero)"""
+        return self._emit_op(Opcode.IDIV, dst, (a, b), **kw)
+
+    def irem(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a % b`` (integer, 0 when dividing by zero)"""
+        return self._emit_op(Opcode.IREM, dst, (a, b), **kw)
+
+    def fadd(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a + b`` (floating point)"""
+        return self._emit_op(Opcode.FADD, dst, (a, b), **kw)
+
+    def fsub(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a - b`` (floating point)"""
+        return self._emit_op(Opcode.FSUB, dst, (a, b), **kw)
+
+    def fmul(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a * b`` (floating point)"""
+        return self._emit_op(Opcode.FMUL, dst, (a, b), **kw)
+
+    def ffma(
+        self, dst: Reg, a: OperandLike, b: OperandLike, c: OperandLike, **kw
+    ) -> Instruction:
+        """``dst = a * b + c`` (floating point)"""
+        return self._emit_op(Opcode.FFMA, dst, (a, b, c), **kw)
+
+    def fmin(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = min(a, b)`` (floating point)"""
+        return self._emit_op(Opcode.FMIN, dst, (a, b), **kw)
+
+    def fmax(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = max(a, b)`` (floating point)"""
+        return self._emit_op(Opcode.FMAX, dst, (a, b), **kw)
+
+    def fdiv(self, dst: Reg, a: OperandLike, b: OperandLike, **kw) -> Instruction:
+        """``dst = a / b`` (floating point, SFU)"""
+        return self._emit_op(Opcode.FDIV, dst, (a, b), **kw)
+
+    def fsqrt(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        """``dst = sqrt(a)`` (SFU)"""
+        return self._emit_op(Opcode.FSQRT, dst, (a,), **kw)
+
+    def frcp(self, dst: Reg, a: OperandLike, **kw) -> Instruction:
+        """``dst = 1 / a`` (SFU)"""
+        return self._emit_op(Opcode.FRCP, dst, (a,), **kw)
+
+    def sel(
+        self, dst: Reg, pred: Pred, a: OperandLike, b: OperandLike, **kw
+    ) -> Instruction:
+        """``dst = pred ? a : b``"""
+        return self._emit_op(Opcode.SEL, dst, (pred, a, b), **kw)
+
+    def setp(
+        self,
+        dst: Pred,
+        cmp: Union[CmpOp, str],
+        a: OperandLike,
+        b: OperandLike,
+        **kw,
+    ) -> Instruction:
+        """``dst = a <cmp> b`` where cmp is one of eq/ne/lt/le/gt/ge."""
+        cmp_op = cmp if isinstance(cmp, CmpOp) else CmpOp(cmp)
+        return self._emit_op(Opcode.SETP, dst, (a, b), cmp=cmp_op, **kw)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _emit_mem(
+        self,
+        opcode: Opcode,
+        space: MemSpace,
+        dst: Optional[Reg],
+        srcs: Tuple[OperandLike, ...],
+        offset: int,
+        pred: Optional[Pred],
+        negate: bool,
+        comment: str,
+    ) -> Instruction:
+        return self._emit(
+            Instruction(
+                opcode=opcode,
+                dst=dst,
+                srcs=tuple(self._operand(s) for s in srcs),
+                guard=self._guard(pred, negate),
+                space=space,
+                offset=offset,
+                comment=comment,
+            )
+        )
+
+    def ld_global(self, dst: Reg, addr: OperandLike, offset: int = 0,
+                  pred: Optional[Pred] = None, negate: bool = False,
+                  comment: str = "") -> Instruction:
+        """Load a 4-byte word from global memory at ``addr + offset``."""
+        return self._emit_mem(Opcode.LD, MemSpace.GLOBAL, dst, (addr,), offset,
+                              pred, negate, comment)
+
+    def st_global(self, addr: OperandLike, src: OperandLike, offset: int = 0,
+                  pred: Optional[Pred] = None, negate: bool = False,
+                  comment: str = "") -> Instruction:
+        """Store a 4-byte word to global memory at ``addr + offset``."""
+        return self._emit_mem(Opcode.ST, MemSpace.GLOBAL, None, (addr, src),
+                              offset, pred, negate, comment)
+
+    def ld_local(self, dst: Reg, addr: OperandLike, offset: int = 0,
+                 pred: Optional[Pred] = None, negate: bool = False,
+                 comment: str = "") -> Instruction:
+        """Load from thread-private local memory (addressed per thread)."""
+        return self._emit_mem(Opcode.LD, MemSpace.LOCAL, dst, (addr,), offset,
+                              pred, negate, comment)
+
+    def st_local(self, addr: OperandLike, src: OperandLike, offset: int = 0,
+                 pred: Optional[Pred] = None, negate: bool = False,
+                 comment: str = "") -> Instruction:
+        """Store to thread-private local memory (addressed per thread)."""
+        return self._emit_mem(Opcode.ST, MemSpace.LOCAL, None, (addr, src),
+                              offset, pred, negate, comment)
+
+    def ld_shared(self, dst: Reg, addr: OperandLike, offset: int = 0,
+                  pred: Optional[Pred] = None, negate: bool = False,
+                  comment: str = "") -> Instruction:
+        """Load from per-CTA shared memory."""
+        return self._emit_mem(Opcode.LD, MemSpace.SHARED, dst, (addr,), offset,
+                              pred, negate, comment)
+
+    def st_shared(self, addr: OperandLike, src: OperandLike, offset: int = 0,
+                  pred: Optional[Pred] = None, negate: bool = False,
+                  comment: str = "") -> Instruction:
+        """Store to per-CTA shared memory."""
+        return self._emit_mem(Opcode.ST, MemSpace.SHARED, None, (addr, src),
+                              offset, pred, negate, comment)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def bar(self) -> Instruction:
+        """CTA-wide barrier (``__syncthreads``)."""
+        return self._emit(Instruction(opcode=Opcode.BAR))
+
+    def exit_(self) -> Instruction:
+        """Terminate all lanes of the executing warp."""
+        return self._emit(Instruction(opcode=Opcode.EXIT))
+
+    def nop(self) -> Instruction:
+        """No operation (consumes an issue slot)."""
+        return self._emit(Instruction(opcode=Opcode.NOP))
+
+    @contextmanager
+    def if_(self, pred: Pred, negate: bool = False) -> Iterator[None]:
+        """Execute the body only for lanes where the predicate holds."""
+        end = self.new_label("endif")
+        self._emit_branch(end, guard=(pred, not negate), reconv=end)
+        yield
+        self.place_label(end)
+
+    @contextmanager
+    def if_else(self, pred: Pred, negate: bool = False) -> Iterator[object]:
+        """If/else; the yielded callable switches from then-body to else-body.
+
+        Example::
+
+            with builder.if_else(p) as otherwise:
+                ...then body...
+                otherwise()
+                ...else body...
+        """
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self._emit_branch(else_label, guard=(pred, not negate), reconv=end_label)
+        state = {"switched": False}
+
+        def otherwise() -> None:
+            if state["switched"]:
+                raise AssemblyError("otherwise() called twice in if_else block")
+            state["switched"] = True
+            self._emit_branch(end_label)
+            self.place_label(else_label)
+
+        yield otherwise
+        if not state["switched"]:
+            raise AssemblyError("if_else block must call otherwise() exactly once")
+        self.place_label(end_label)
+
+    @contextmanager
+    def while_loop(self) -> Iterator[LoopContext]:
+        """Open a loop; exit it with ``loop.break_if(pred)``."""
+        start = self.new_label("loop")
+        end = self.new_label("endloop")
+        self.place_label(start)
+        yield LoopContext(self, start, end)
+        self._emit_branch(start)
+        self.place_label(end)
+
+    @contextmanager
+    def for_range(
+        self,
+        counter: Reg,
+        start: OperandLike,
+        end: OperandLike,
+        step: int = 1,
+    ) -> Iterator[LoopContext]:
+        """Counted loop: ``for counter in range(start, end, step)``."""
+        if step == 0:
+            raise AssemblyError("for_range step must be non-zero")
+        self.mov(counter, start)
+        exit_pred = self.pred()
+        with self.while_loop() as loop:
+            cmp = CmpOp.GE if step > 0 else CmpOp.LE
+            self.setp(exit_pred, cmp, counter, end)
+            loop.break_if(exit_pred)
+            yield loop
+            self.iadd(counter, counter, step)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Finalize the program: patch labels, validate, and return it."""
+        if not self._instructions or not self._instructions[-1].is_exit:
+            self.exit_()
+        for label in self._labels:
+            if label.position is None:
+                raise AssemblyError(f"label {label.name} was never placed")
+        for instruction, target, reconv in self._fixups:
+            instruction.target = target.position if target is not None else None
+            instruction.reconv = reconv.position if reconv is not None else None
+        program = Program(
+            name=self.name,
+            instructions=list(self._instructions),
+            num_registers=max(self._next_register, 1),
+            num_predicates=max(self._next_predicate, 1),
+            param_names=tuple(self._params),
+            shared_bytes=self._shared_bytes,
+            local_bytes=self._local_bytes,
+        )
+        program.validate()
+        return program

@@ -1,0 +1,141 @@
+"""Instruction representation.
+
+An :class:`Instruction` is an immutable description of a single static
+operation: opcode, destination, source operands, optional guard predicate,
+and — for branches and memory operations — the attributes needed by the
+SIMT stack and the load/store unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode, Unit, unit_for
+from repro.isa.operands import Imm, Param, Pred, Reg, Special
+
+SourceOperand = Union[Reg, Pred, Imm, Special, Param]
+Destination = Union[Reg, Pred]
+
+
+@dataclass
+class Instruction:
+    """A single static instruction of a kernel program.
+
+    Attributes
+    ----------
+    opcode:
+        The operation to perform.
+    dst:
+        Destination register (general or predicate), or ``None`` for
+        stores, branches, and other result-less operations.
+    srcs:
+        Source operands, in operation-specific order.
+    guard:
+        Optional ``(predicate, negated)`` pair; lanes where the guard
+        evaluates false are masked off for this instruction.
+    cmp:
+        Comparison operator (SETP only).
+    space:
+        Memory space (LD/ST only).
+    offset:
+        Constant byte offset added to the computed address (LD/ST only).
+    target:
+        Branch target PC (BRA only; patched by the assembler).
+    reconv:
+        Reconvergence PC used by the SIMT stack (BRA only).
+    pc:
+        Position of the instruction in its program, set by the assembler.
+    comment:
+        Free-form annotation used only for disassembly output.
+    """
+
+    opcode: Opcode
+    dst: Optional[Destination] = None
+    srcs: Tuple[SourceOperand, ...] = field(default_factory=tuple)
+    guard: Optional[Tuple[Pred, bool]] = None
+    cmp: Optional[CmpOp] = None
+    space: Optional[MemSpace] = None
+    offset: int = 0
+    target: Optional[int] = None
+    reconv: Optional[int] = None
+    pc: int = -1
+    comment: str = ""
+
+    @property
+    def unit(self) -> Unit:
+        """Functional unit class that executes this instruction."""
+        return unit_for(self.opcode)
+
+    @property
+    def is_load(self) -> bool:
+        """Whether this is a load from any memory space."""
+        return self.opcode is Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        """Whether this is a store to any memory space."""
+        return self.opcode is Opcode.ST
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether this instruction goes through the load/store unit."""
+        return self.opcode in (Opcode.LD, Opcode.ST)
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether this instruction may change control flow."""
+        return self.opcode is Opcode.BRA
+
+    @property
+    def is_barrier(self) -> bool:
+        """Whether this instruction is a CTA-wide barrier."""
+        return self.opcode is Opcode.BAR
+
+    @property
+    def is_exit(self) -> bool:
+        """Whether this instruction terminates the executing threads."""
+        return self.opcode is Opcode.EXIT
+
+    def reads_registers(self) -> Tuple[Reg, ...]:
+        """General-purpose registers read by this instruction."""
+        return tuple(op for op in self.srcs if isinstance(op, Reg))
+
+    def reads_predicates(self) -> Tuple[Pred, ...]:
+        """Predicate registers read by this instruction (incl. the guard)."""
+        preds = [op for op in self.srcs if isinstance(op, Pred)]
+        if self.guard is not None:
+            preds.append(self.guard[0])
+        return tuple(preds)
+
+    def writes_register(self) -> Optional[Reg]:
+        """The general-purpose register written, if any."""
+        return self.dst if isinstance(self.dst, Reg) else None
+
+    def writes_predicate(self) -> Optional[Pred]:
+        """The predicate register written, if any."""
+        return self.dst if isinstance(self.dst, Pred) else None
+
+    def __str__(self) -> str:
+        parts = []
+        if self.guard is not None:
+            pred, negated = self.guard
+            parts.append(f"@{'!' if negated else ''}{pred}")
+        name = self.opcode.value
+        if self.opcode is Opcode.SETP and self.cmp is not None:
+            name = f"setp.{self.cmp.value}"
+        if self.space is not None:
+            name = f"{name}.{self.space.value}"
+        parts.append(name)
+        operands = []
+        if self.dst is not None:
+            operands.append(repr(self.dst))
+        operands.extend(repr(s) for s in self.srcs)
+        if self.opcode is Opcode.BRA:
+            operands.append(f"-> {self.target} (reconv {self.reconv})")
+        if self.is_memory and self.offset:
+            operands.append(f"+{self.offset}")
+        text = " ".join(parts) + " " + ", ".join(operands)
+        if self.comment:
+            text += f"    ; {self.comment}"
+        return text.strip()

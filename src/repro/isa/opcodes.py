@@ -1,0 +1,137 @@
+"""Opcode and functional-unit definitions for the simulated ISA."""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+
+@unique
+class Opcode(Enum):
+    """Operations understood by the SIMT core."""
+
+    # Integer arithmetic / logic (SP units).
+    IADD = "iadd"
+    ISUB = "isub"
+    IMUL = "imul"
+    IMAD = "imad"          # dst = a * b + c
+    IMIN = "imin"
+    IMAX = "imax"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+
+    # Integer long-latency operations (SFU-class on real hardware).
+    IDIV = "idiv"
+    IREM = "irem"
+
+    # Floating point (SP units).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FFMA = "ffma"          # dst = a * b + c
+    FMIN = "fmin"
+    FMAX = "fmax"
+
+    # Floating point transcendental / long latency (SFU).
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FRCP = "frcp"
+
+    # Data movement and selection.
+    MOV = "mov"
+    SEL = "sel"            # dst = pred ? a : b
+    SETP = "setp"          # predicate = a <cmp> b
+
+    # Memory.
+    LD = "ld"
+    ST = "st"
+
+    # Control.
+    BRA = "bra"
+    BAR = "bar"
+    EXIT = "exit"
+    NOP = "nop"
+
+
+@unique
+class Unit(Enum):
+    """Functional unit classes used by the issue logic and timing model."""
+
+    SP = "sp"        # simple integer / single-precision ALU pipeline
+    SFU = "sfu"      # special function unit (divides, square roots)
+    MEM = "mem"      # load/store unit
+    CTRL = "ctrl"    # branches, barriers, exits (handled at issue)
+
+
+@unique
+class MemSpace(Enum):
+    """Memory spaces addressable by LD/ST instructions."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    SHARED = "shared"
+
+
+@unique
+class CmpOp(Enum):
+    """Comparison operators accepted by SETP."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+#: Mapping from each opcode to the functional unit that executes it.
+OPCODE_UNIT = {
+    Opcode.IADD: Unit.SP,
+    Opcode.ISUB: Unit.SP,
+    Opcode.IMUL: Unit.SP,
+    Opcode.IMAD: Unit.SP,
+    Opcode.IMIN: Unit.SP,
+    Opcode.IMAX: Unit.SP,
+    Opcode.AND: Unit.SP,
+    Opcode.OR: Unit.SP,
+    Opcode.XOR: Unit.SP,
+    Opcode.NOT: Unit.SP,
+    Opcode.SHL: Unit.SP,
+    Opcode.SHR: Unit.SP,
+    Opcode.IDIV: Unit.SFU,
+    Opcode.IREM: Unit.SFU,
+    Opcode.FADD: Unit.SP,
+    Opcode.FSUB: Unit.SP,
+    Opcode.FMUL: Unit.SP,
+    Opcode.FFMA: Unit.SP,
+    Opcode.FMIN: Unit.SP,
+    Opcode.FMAX: Unit.SP,
+    Opcode.FDIV: Unit.SFU,
+    Opcode.FSQRT: Unit.SFU,
+    Opcode.FRCP: Unit.SFU,
+    Opcode.MOV: Unit.SP,
+    Opcode.SEL: Unit.SP,
+    Opcode.SETP: Unit.SP,
+    Opcode.LD: Unit.MEM,
+    Opcode.ST: Unit.MEM,
+    Opcode.BRA: Unit.CTRL,
+    Opcode.BAR: Unit.CTRL,
+    Opcode.EXIT: Unit.CTRL,
+    Opcode.NOP: Unit.CTRL,
+}
+
+#: Opcodes whose destination is a predicate register.
+PREDICATE_DEST_OPCODES = frozenset({Opcode.SETP})
+
+#: Opcodes that never write a destination register.
+NO_DEST_OPCODES = frozenset(
+    {Opcode.ST, Opcode.BRA, Opcode.BAR, Opcode.EXIT, Opcode.NOP}
+)
+
+
+def unit_for(opcode: Opcode) -> Unit:
+    """Return the functional unit class that executes ``opcode``."""
+    return OPCODE_UNIT[opcode]

@@ -1,0 +1,85 @@
+"""Operand kinds of the simulated SIMT instruction set.
+
+The ISA is a small RISC-style register machine modelled loosely after PTX:
+general-purpose registers hold 64-bit values (used for both integers and
+floating point), predicate registers hold per-lane booleans, and a handful
+of special registers expose the thread/block geometry.  Kernel parameters
+are read-only scalars resolved at launch time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Names of special (read-only) registers available to kernels.
+SPECIAL_REGISTER_NAMES = (
+    "tid",      # thread index within the CTA (1-D)
+    "ctaid",    # CTA (thread block) index within the grid (1-D)
+    "ntid",     # number of threads per CTA
+    "nctaid",   # number of CTAs in the grid
+    "laneid",   # lane index within the warp
+    "warpid",   # warp index within the CTA
+    "smid",     # index of the SM executing the CTA
+    "gtid",     # convenience: global thread id (ctaid * ntid + tid)
+)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose register, identified by its index."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Pred:
+    """A predicate (per-lane boolean) register."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"p{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (compile-time constant) operand."""
+
+    value: float
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Special:
+    """A read-only special register such as ``tid`` or ``ctaid``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in SPECIAL_REGISTER_NAMES:
+            raise ValueError(
+                f"unknown special register {self.name!r}; "
+                f"expected one of {SPECIAL_REGISTER_NAMES}"
+            )
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Param:
+    """A kernel parameter, bound to a scalar value at launch time."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"param[{self.name}]"
+
+
+#: Union of everything that may appear as a source operand.
+Operand = (Reg, Pred, Imm, Special, Param)

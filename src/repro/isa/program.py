@@ -1,0 +1,112 @@
+"""Kernel program container and validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MemSpace, Opcode
+from repro.isa.operands import Param, Pred, Reg
+from repro.utils.errors import AssemblyError
+
+
+@dataclass
+class Program:
+    """A validated, assembled kernel program.
+
+    Instances are produced by :class:`repro.isa.builder.KernelBuilder`;
+    they can also be constructed directly from a list of instructions for
+    testing purposes, in which case :meth:`validate` should be called.
+
+    Attributes
+    ----------
+    name:
+        Kernel name, used in reports.
+    instructions:
+        The static instruction sequence.  The PC of an instruction is its
+        index in this list.
+    num_registers / num_predicates:
+        Register file requirements per thread.
+    param_names:
+        Names of launch-time scalar parameters, in declaration order.
+    shared_bytes:
+        Bytes of shared memory required per CTA.
+    local_bytes:
+        Bytes of (thread-private) local memory required per thread.
+    """
+
+    name: str
+    instructions: List[Instruction]
+    num_registers: int
+    num_predicates: int
+    param_names: Tuple[str, ...] = ()
+    shared_bytes: int = 0
+    local_bytes: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for pc, instruction in enumerate(self.instructions):
+            instruction.pc = pc
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raises :class:`AssemblyError`."""
+        if not self.instructions:
+            raise AssemblyError(f"kernel {self.name!r} has no instructions")
+        if not any(i.opcode is Opcode.EXIT for i in self.instructions):
+            raise AssemblyError(f"kernel {self.name!r} has no EXIT instruction")
+        limit = len(self.instructions)
+        declared_params = set(self.param_names)
+        for pc, instruction in enumerate(self.instructions):
+            where = f"{self.name}@{pc} ({instruction})"
+            if instruction.is_branch:
+                if instruction.target is None:
+                    raise AssemblyError(f"unpatched branch target in {where}")
+                if not 0 <= instruction.target <= limit:
+                    raise AssemblyError(f"branch target out of range in {where}")
+                if instruction.guard is not None and instruction.reconv is None:
+                    raise AssemblyError(f"guarded branch lacks reconv PC in {where}")
+            if instruction.is_memory and instruction.space is None:
+                raise AssemblyError(f"memory instruction lacks space in {where}")
+            if (
+                instruction.is_memory
+                and instruction.space is MemSpace.SHARED
+                and self.shared_bytes == 0
+            ):
+                raise AssemblyError(
+                    f"shared-memory access but shared_bytes == 0 in {where}"
+                )
+            for operand in list(instruction.srcs) + [instruction.dst]:
+                if isinstance(operand, Reg) and operand.index >= self.num_registers:
+                    raise AssemblyError(f"register {operand} out of range in {where}")
+                if isinstance(operand, Pred) and operand.index >= self.num_predicates:
+                    raise AssemblyError(f"predicate {operand} out of range in {where}")
+                if isinstance(operand, Param) and operand.name not in declared_params:
+                    raise AssemblyError(f"undeclared parameter {operand} in {where}")
+            if instruction.guard is not None:
+                pred = instruction.guard[0]
+                if pred.index >= self.num_predicates:
+                    raise AssemblyError(f"guard predicate out of range in {where}")
+
+    def loads(self) -> Sequence[Instruction]:
+        """All load instructions in the program."""
+        return [i for i in self.instructions if i.is_load]
+
+    def stores(self) -> Sequence[Instruction]:
+        """All store instructions in the program."""
+        return [i for i in self.instructions if i.is_store]
+
+    def disassemble(self) -> str:
+        """Return a human-readable listing of the program."""
+        lines = [f".kernel {self.name}  regs={self.num_registers} "
+                 f"preds={self.num_predicates} shared={self.shared_bytes} "
+                 f"local={self.local_bytes} params={list(self.param_names)}"]
+        for pc, instruction in enumerate(self.instructions):
+            lines.append(f"  {pc:4d}: {instruction}")
+        return "\n".join(lines)

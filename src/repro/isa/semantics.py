@@ -1,0 +1,126 @@
+"""Functional (value) semantics of the ISA.
+
+The timing simulator is *execution driven*: when an instruction issues,
+its result values are computed immediately by the functions in this module
+while the timing model independently decides when the destination register
+becomes visible to dependent instructions.
+
+All functions operate on per-lane numpy arrays (``float64``).  Integer
+operations round-trip through ``int64``; this is exact for the address and
+index arithmetic used by the bundled workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CmpOp, Opcode
+from repro.utils.errors import SimulationError
+
+
+def _as_int(values: np.ndarray) -> np.ndarray:
+    return values.astype(np.int64)
+
+
+def compute(instruction: Instruction, srcs: Sequence[np.ndarray]) -> np.ndarray:
+    """Evaluate an arithmetic/move/select instruction.
+
+    Parameters
+    ----------
+    instruction:
+        The instruction being executed.  Must not be a memory, branch,
+        barrier, or exit instruction — those are handled by the core.
+    srcs:
+        Per-lane value arrays for each source operand, in order.
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-lane result values (``float64`` for general registers,
+        ``bool`` for SETP).
+    """
+    op = instruction.opcode
+    if op is Opcode.MOV:
+        return np.array(srcs[0], dtype=np.float64, copy=True)
+    if op is Opcode.IADD:
+        return (_as_int(srcs[0]) + _as_int(srcs[1])).astype(np.float64)
+    if op is Opcode.ISUB:
+        return (_as_int(srcs[0]) - _as_int(srcs[1])).astype(np.float64)
+    if op is Opcode.IMUL:
+        return (_as_int(srcs[0]) * _as_int(srcs[1])).astype(np.float64)
+    if op is Opcode.IMAD:
+        return (_as_int(srcs[0]) * _as_int(srcs[1]) + _as_int(srcs[2])).astype(
+            np.float64
+        )
+    if op is Opcode.IMIN:
+        return np.minimum(_as_int(srcs[0]), _as_int(srcs[1])).astype(np.float64)
+    if op is Opcode.IMAX:
+        return np.maximum(_as_int(srcs[0]), _as_int(srcs[1])).astype(np.float64)
+    if op is Opcode.AND:
+        return (_as_int(srcs[0]) & _as_int(srcs[1])).astype(np.float64)
+    if op is Opcode.OR:
+        return (_as_int(srcs[0]) | _as_int(srcs[1])).astype(np.float64)
+    if op is Opcode.XOR:
+        return (_as_int(srcs[0]) ^ _as_int(srcs[1])).astype(np.float64)
+    if op is Opcode.NOT:
+        return (~_as_int(srcs[0])).astype(np.float64)
+    if op is Opcode.SHL:
+        return (_as_int(srcs[0]) << _as_int(srcs[1])).astype(np.float64)
+    if op is Opcode.SHR:
+        return (_as_int(srcs[0]) >> _as_int(srcs[1])).astype(np.float64)
+    if op is Opcode.IDIV:
+        divisor = _as_int(srcs[1])
+        safe = np.where(divisor == 0, 1, divisor)
+        result = _as_int(srcs[0]) // safe
+        return np.where(divisor == 0, 0, result).astype(np.float64)
+    if op is Opcode.IREM:
+        divisor = _as_int(srcs[1])
+        safe = np.where(divisor == 0, 1, divisor)
+        result = _as_int(srcs[0]) % safe
+        return np.where(divisor == 0, 0, result).astype(np.float64)
+    if op is Opcode.FADD:
+        return srcs[0] + srcs[1]
+    if op is Opcode.FSUB:
+        return srcs[0] - srcs[1]
+    if op is Opcode.FMUL:
+        return srcs[0] * srcs[1]
+    if op is Opcode.FFMA:
+        return srcs[0] * srcs[1] + srcs[2]
+    if op is Opcode.FMIN:
+        return np.minimum(srcs[0], srcs[1])
+    if op is Opcode.FMAX:
+        return np.maximum(srcs[0], srcs[1])
+    if op is Opcode.FDIV:
+        divisor = np.where(srcs[1] == 0, np.inf, srcs[1])
+        return srcs[0] / divisor
+    if op is Opcode.FSQRT:
+        return np.sqrt(np.maximum(srcs[0], 0.0))
+    if op is Opcode.FRCP:
+        divisor = np.where(srcs[0] == 0, np.inf, srcs[0])
+        return 1.0 / divisor
+    if op is Opcode.SEL:
+        predicate = srcs[0].astype(bool)
+        return np.where(predicate, srcs[1], srcs[2])
+    if op is Opcode.SETP:
+        return compare(instruction.cmp, srcs[0], srcs[1])
+    raise SimulationError(f"compute() cannot evaluate opcode {op}")
+
+
+def compare(cmp: CmpOp, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Evaluate a SETP comparison, returning a per-lane boolean array."""
+    if cmp is CmpOp.EQ:
+        return a == b
+    if cmp is CmpOp.NE:
+        return a != b
+    if cmp is CmpOp.LT:
+        return a < b
+    if cmp is CmpOp.LE:
+        return a <= b
+    if cmp is CmpOp.GT:
+        return a > b
+    if cmp is CmpOp.GE:
+        return a >= b
+    raise SimulationError(f"unknown comparison operator {cmp}")

@@ -1,0 +1,45 @@
+"""Memory hierarchy: caches, MSHRs, interconnect, L2 slices, and DRAM."""
+
+from repro.memory.address import AddressMapping
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.memory.dram import (
+    DRAMTiming,
+    DramBank,
+    DramChannel,
+    DramScheduler,
+    FCFSScheduler,
+    FRFCFSScheduler,
+    create_scheduler,
+)
+from repro.memory.globalmem import WORD_SIZE, GlobalMemory
+from repro.memory.interconnect import Interconnect, InterconnectConfig
+from repro.memory.l2cache import L2Slice, L2SliceConfig
+from repro.memory.mshr import MSHREntry, MSHRTable
+from repro.memory.partition import MemoryPartition, PartitionConfig
+from repro.memory.request import MemoryRequest
+from repro.memory.subsystem import MemorySystem
+
+__all__ = [
+    "AddressMapping",
+    "CacheGeometry",
+    "DRAMTiming",
+    "DramBank",
+    "DramChannel",
+    "DramScheduler",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "GlobalMemory",
+    "Interconnect",
+    "InterconnectConfig",
+    "L2Slice",
+    "L2SliceConfig",
+    "MSHREntry",
+    "MSHRTable",
+    "MemoryPartition",
+    "MemoryRequest",
+    "MemorySystem",
+    "PartitionConfig",
+    "SetAssociativeCache",
+    "WORD_SIZE",
+    "create_scheduler",
+]

@@ -1,0 +1,76 @@
+"""Physical address decoding: partition, bank, and row selection.
+
+The global address space is interleaved across memory partitions in
+``partition_chunk``-byte slices (256 B by default, as in GPGPU-Sim's Fermi
+configurations).  Within a partition, consecutive rows are interleaved
+across DRAM banks so that streaming traffic engages all banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Decodes raw byte addresses into (partition, bank, row) coordinates.
+
+    Attributes
+    ----------
+    num_partitions:
+        Number of memory partitions (each pairs an L2 slice with a DRAM
+        channel).
+    partition_chunk:
+        Bytes of consecutive address space mapped to one partition before
+        moving to the next.
+    row_bytes:
+        Bytes of one DRAM row (per partition, spanning one bank).
+    num_banks:
+        DRAM banks per channel.
+    """
+
+    num_partitions: int = 4
+    partition_chunk: int = 256
+    row_bytes: int = 2048
+    num_banks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 1:
+            raise ConfigurationError("num_partitions must be >= 1")
+        if not _is_power_of_two(self.partition_chunk):
+            raise ConfigurationError("partition_chunk must be a power of two")
+        if not _is_power_of_two(self.row_bytes):
+            raise ConfigurationError("row_bytes must be a power of two")
+        if self.num_banks < 1:
+            raise ConfigurationError("num_banks must be >= 1")
+
+    def partition_of(self, address: int) -> int:
+        """Memory partition servicing ``address``."""
+        return (address // self.partition_chunk) % self.num_partitions
+
+    def partition_local(self, address: int) -> int:
+        """Address within the partition's local space (chunks compacted)."""
+        chunk_index = address // self.partition_chunk
+        local_chunk = chunk_index // self.num_partitions
+        return local_chunk * self.partition_chunk + address % self.partition_chunk
+
+    def bank_of(self, address: int) -> int:
+        """DRAM bank (within the partition's channel) holding ``address``."""
+        row = self.partition_local(address) // self.row_bytes
+        return row % self.num_banks
+
+    def row_of(self, address: int) -> int:
+        """DRAM row index (within the bank) holding ``address``."""
+        row = self.partition_local(address) // self.row_bytes
+        return row // self.num_banks
+
+    def decode(self, address: int) -> tuple:
+        """Return ``(partition, bank, row)`` for ``address``."""
+        return (self.partition_of(address), self.bank_of(address),
+                self.row_of(address))

@@ -1,0 +1,168 @@
+"""Interconnection network between SMs and memory partitions.
+
+The network is modelled as a crossbar with a fixed traversal latency,
+per-destination acceptance bandwidth, and a credit limit per destination.
+When a destination's credits are exhausted (its output queue and in-flight
+packets are at capacity), sources can no longer inject packets destined for
+it — the resulting back-pressure is what makes the SM-side miss queues fill
+up, which the paper identifies as one of the two dominant dynamic latency
+contributors ("L1toICNT").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.queues import BoundedQueue
+from repro.utils.stats import StatCounters
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Crossbar parameters.
+
+    Attributes
+    ----------
+    latency:
+        Traversal latency in core cycles.
+    accept_per_cycle:
+        Packets each destination port can accept per cycle.
+    output_queue_size:
+        Capacity of each destination's output queue (drained by the
+        destination component).
+    credit_limit:
+        Maximum packets simultaneously in flight towards, or queued at, one
+        destination.  Injection stalls once this is reached.
+    """
+
+    latency: int = 8
+    accept_per_cycle: int = 1
+    output_queue_size: int = 8
+    credit_limit: int = 16
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ConfigurationError("interconnect latency must be >= 1")
+        if self.accept_per_cycle < 1:
+            raise ConfigurationError("accept_per_cycle must be >= 1")
+        if self.output_queue_size < 1:
+            raise ConfigurationError("output_queue_size must be >= 1")
+        if self.credit_limit < self.output_queue_size:
+            raise ConfigurationError(
+                "credit_limit must be at least output_queue_size"
+            )
+
+
+class Interconnect:
+    """A latency/bandwidth-limited crossbar carrying opaque payloads.
+
+    One instance is used for the request direction (SMs to partitions) and
+    a second for the reply direction (partitions to SMs).
+    """
+
+    def __init__(self, num_sources: int, num_destinations: int,
+                 config: InterconnectConfig, name: str = "icnt") -> None:
+        if num_sources < 1 or num_destinations < 1:
+            raise ConfigurationError("interconnect needs sources and destinations")
+        self.num_sources = num_sources
+        self.num_destinations = num_destinations
+        self.config = config
+        self.name = name
+        self._in_flight: List[List[Tuple[int, int, object]]] = [
+            [] for _ in range(num_destinations)
+        ]
+        self._outputs: List[BoundedQueue] = [
+            BoundedQueue(config.output_queue_size, name=f"{name}.out{d}")
+            for d in range(num_destinations)
+        ]
+        self._sequence = itertools.count()
+        self.stats = StatCounters(prefix=name)
+
+    # ------------------------------------------------------------------
+    # Injection (source side)
+    # ------------------------------------------------------------------
+    def _credits_used(self, destination: int) -> int:
+        return len(self._in_flight[destination]) + len(self._outputs[destination])
+
+    def can_inject(self, destination: int) -> bool:
+        """Whether a packet may currently be injected towards ``destination``."""
+        return self._credits_used(destination) < self.config.credit_limit
+
+    def inject(self, source: int, destination: int, payload: object,
+               now: int) -> None:
+        """Send ``payload`` from ``source`` to ``destination``.
+
+        The caller must have checked :meth:`can_inject`; violating the
+        credit limit raises.
+        """
+        if not 0 <= source < self.num_sources:
+            raise ConfigurationError(f"bad interconnect source {source}")
+        if not 0 <= destination < self.num_destinations:
+            raise ConfigurationError(f"bad interconnect destination {destination}")
+        if not self.can_inject(destination):
+            raise RuntimeError(
+                f"{self.name}: injection to {destination} without credits"
+            )
+        arrival = now + self.config.latency
+        heapq.heappush(
+            self._in_flight[destination],
+            (arrival, next(self._sequence), payload),
+        )
+        self.stats.add("injected")
+
+    # ------------------------------------------------------------------
+    # Delivery (destination side)
+    # ------------------------------------------------------------------
+    def cycle(self, now: int) -> None:
+        """Move arrived packets into destination output queues."""
+        for destination in range(self.num_destinations):
+            heap = self._in_flight[destination]
+            output = self._outputs[destination]
+            accepted = 0
+            while (
+                heap
+                and heap[0][0] <= now
+                and accepted < self.config.accept_per_cycle
+                and not output.full()
+            ):
+                _, _, payload = heapq.heappop(heap)
+                output.push(payload)
+                accepted += 1
+                self.stats.add("delivered")
+            if heap and heap[0][0] <= now and output.full():
+                self.stats.add("output_blocked_cycles")
+
+    def peek(self, destination: int) -> Optional[object]:
+        """Oldest delivered packet waiting at ``destination``, if any."""
+        return self._outputs[destination].peek()
+
+    def pop(self, destination: int) -> Optional[object]:
+        """Remove and return the oldest delivered packet at ``destination``."""
+        return self._outputs[destination].try_pop()
+
+    def pending(self, destination: int) -> int:
+        """Packets in flight towards or queued at ``destination``."""
+        return self._credits_used(destination)
+
+    def total_pending(self) -> int:
+        """Packets anywhere in the network."""
+        return sum(
+            self._credits_used(destination)
+            for destination in range(self.num_destinations)
+        )
+
+    def next_event_time(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which this network needs to do work."""
+        best: Optional[int] = None
+        for destination in range(self.num_destinations):
+            if self._outputs[destination]:
+                return now + 1
+            heap = self._in_flight[destination]
+            if heap:
+                candidate = max(heap[0][0], now + 1)
+                best = candidate if best is None else min(best, candidate)
+        return best

@@ -1,0 +1,177 @@
+"""L2 cache slice model.
+
+Each memory partition contains one L2 slice.  The slice services one
+request per cycle from its input queue: read hits become data responses
+after the configured hit latency, read misses allocate an MSHR entry and
+are forwarded to the partition's DRAM channel, and writes are handled
+write-through / no-allocate (forwarded to DRAM, refreshing LRU state if
+the line happens to be resident).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.stages import Event
+from repro.core.tracker import LatencyTracker
+from repro.memory.address import AddressMapping
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.memory.dram import DramChannel
+from repro.memory.mshr import MSHRTable
+from repro.memory.request import MemoryRequest
+from repro.utils.errors import ConfigurationError
+from repro.utils.queues import BoundedQueue
+from repro.utils.stats import StatCounters
+
+
+@dataclass(frozen=True)
+class L2SliceConfig:
+    """Configuration of one L2 slice (per memory partition).
+
+    Attributes
+    ----------
+    geometry:
+        Capacity / line size / associativity of the slice.
+    hit_latency:
+        Cycles from tag access to data availability on a hit.  This is the
+        calibration knob used to match the end-to-end L2 latencies of
+        Table I.
+    mshr_entries / mshr_max_merge:
+        Outstanding-miss tracking limits.
+    input_queue_size:
+        Capacity of the request queue feeding the slice.
+    """
+
+    geometry: CacheGeometry
+    hit_latency: int = 80
+    mshr_entries: int = 32
+    mshr_max_merge: int = 8
+    input_queue_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.hit_latency < 1:
+            raise ConfigurationError("L2 hit_latency must be >= 1")
+        if self.input_queue_size < 1:
+            raise ConfigurationError("L2 input_queue_size must be >= 1")
+
+
+class L2Slice:
+    """Timing model of one L2 cache slice."""
+
+    def __init__(self, partition_id: int, config: L2SliceConfig,
+                 tracker: LatencyTracker,
+                 mapping: Optional[AddressMapping] = None) -> None:
+        self.partition_id = partition_id
+        self.config = config
+        self.tracker = tracker
+        set_index_fn = None
+        if mapping is not None:
+            line_size = config.geometry.line_size
+            # Index with the partition-local address: the bits that select
+            # the partition carry no information within one slice and would
+            # otherwise alias away most of the sets.
+            set_index_fn = lambda address: mapping.partition_local(address) // line_size
+        self.cache = SetAssociativeCache(config.geometry, set_index_fn=set_index_fn)
+        self.mshr = MSHRTable(config.mshr_entries, config.mshr_max_merge,
+                              name=f"l2mshr{partition_id}")
+        self.request_queue: BoundedQueue[MemoryRequest] = BoundedQueue(
+            config.input_queue_size, name=f"l2q{partition_id}"
+        )
+        self._pending_hits: List[tuple] = []
+        self._sequence = itertools.count()
+        self.stats = StatCounters(prefix=f"l2slice{partition_id}")
+
+    # ------------------------------------------------------------------
+    # Input side
+    # ------------------------------------------------------------------
+    def can_accept(self) -> bool:
+        """Whether the input queue has room for another request."""
+        return not self.request_queue.full()
+
+    def push_request(self, request: MemoryRequest, now: int) -> None:
+        """Enter ``request`` into the slice's input queue."""
+        self.tracker.record_event(request, Event.L2Q_ARRIVE, now)
+        self.request_queue.push(request)
+
+    # ------------------------------------------------------------------
+    # Per-cycle processing
+    # ------------------------------------------------------------------
+    def cycle(self, now: int, dram: DramChannel,
+              return_queue: BoundedQueue) -> None:
+        """Complete hits whose data is ready and process one new request."""
+        while (
+            self._pending_hits
+            and self._pending_hits[0][0] <= now
+            and not return_queue.full()
+        ):
+            ready, _, request = heapq.heappop(self._pending_hits)
+            self.tracker.record_event(request, Event.L2_DATA, ready)
+            return_queue.push(request)
+        request = self.request_queue.peek()
+        if request is None:
+            return
+        if request.is_write:
+            if not dram.can_accept():
+                self.stats.add("write_stall_cycles")
+                return
+            self.request_queue.pop()
+            if self.cache.probe(request.address):
+                self.cache.access(request.address)
+            self.stats.add("writes")
+            dram.enqueue(request, now)
+            return
+        line = self.cache.line_address(request.address)
+        if self.cache.probe(request.address):
+            self.request_queue.pop()
+            self.cache.access(request.address)
+            request.l2_hit = True
+            heapq.heappush(
+                self._pending_hits,
+                (now + self.config.hit_latency, next(self._sequence), request),
+            )
+            return
+        if self.mshr.lookup(line) is not None:
+            if self.mshr.can_merge(line):
+                self.request_queue.pop()
+                self.cache.stats.add("misses")
+                self.mshr.merge(line, request)
+                self.stats.add("mshr_merges")
+            else:
+                self.stats.add("mshr_merge_stall_cycles")
+            return
+        if self.mshr.full():
+            self.stats.add("mshr_full_stall_cycles")
+            return
+        if not dram.can_accept():
+            self.stats.add("dram_queue_stall_cycles")
+            return
+        self.request_queue.pop()
+        self.cache.stats.add("misses")
+        self.mshr.allocate(line, request)
+        dram.enqueue(request, now)
+
+    # ------------------------------------------------------------------
+    # Fill path
+    # ------------------------------------------------------------------
+    def fill(self, request: MemoryRequest, now: int) -> List[MemoryRequest]:
+        """Install the line fetched for ``request``; return all waiters."""
+        line = self.cache.line_address(request.address)
+        self.cache.fill(line)
+        entry = self.mshr.release(line)
+        self.stats.add("fills")
+        return [entry.primary] + list(entry.merged)
+
+    def next_event_time(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which the slice needs to do work."""
+        if self.request_queue:
+            return now + 1
+        if self._pending_hits:
+            return max(self._pending_hits[0][0], now + 1)
+        return None
+
+    def outstanding_misses(self) -> int:
+        """Number of lines currently being fetched from DRAM."""
+        return len(self.mshr)

@@ -1,0 +1,158 @@
+"""The complete off-SM memory system: interconnect plus memory partitions.
+
+The :class:`MemorySystem` is the single object SMs talk to:
+
+* :meth:`try_inject` — move a missed request from an SM's L1 miss queue
+  into the request network (this is the transition the paper timestamps as
+  ``ICNT_INJECT``; the time spent waiting for it is the ``L1toICNT``
+  component of Figure 1),
+* :meth:`pop_response` — collect responses that have travelled back to an
+  SM through the reply network,
+* :meth:`cycle` — advance every partition and both networks by one cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.stages import Event
+from repro.core.tracker import LatencyTracker
+from repro.memory.address import AddressMapping
+from repro.memory.interconnect import Interconnect, InterconnectConfig
+from repro.memory.partition import MemoryPartition, PartitionConfig
+from repro.memory.request import MemoryRequest
+from repro.utils.errors import ConfigurationError
+from repro.utils.stats import StatCounters
+
+
+class MemorySystem:
+    """Interconnect + memory partitions, shared by all SMs."""
+
+    def __init__(
+        self,
+        num_sms: int,
+        mapping: AddressMapping,
+        icnt_config: InterconnectConfig,
+        partition_config: PartitionConfig,
+        tracker: LatencyTracker,
+        reply_inject_per_cycle: int = 1,
+    ) -> None:
+        if num_sms < 1:
+            raise ConfigurationError("memory system needs at least one SM")
+        self.num_sms = num_sms
+        self.mapping = mapping
+        self.tracker = tracker
+        self.reply_inject_per_cycle = reply_inject_per_cycle
+        self.partitions: List[MemoryPartition] = [
+            MemoryPartition(pid, partition_config, mapping, tracker)
+            for pid in range(mapping.num_partitions)
+        ]
+        self.request_network = Interconnect(
+            num_sources=num_sms,
+            num_destinations=mapping.num_partitions,
+            config=icnt_config,
+            name="icnt_req",
+        )
+        self.reply_network = Interconnect(
+            num_sources=mapping.num_partitions,
+            num_destinations=num_sms,
+            config=icnt_config,
+            name="icnt_rep",
+        )
+        self.stats = StatCounters(prefix="memsys")
+
+    # ------------------------------------------------------------------
+    # SM-facing interface
+    # ------------------------------------------------------------------
+    def partition_of(self, address: int) -> int:
+        """Memory partition servicing ``address``."""
+        return self.mapping.partition_of(address)
+
+    def can_inject(self, address: int) -> bool:
+        """Whether a request for ``address`` can enter the request network."""
+        return self.request_network.can_inject(self.partition_of(address))
+
+    def try_inject(self, sm_id: int, request: MemoryRequest, now: int) -> bool:
+        """Inject ``request`` into the request network if credits allow."""
+        destination = self.partition_of(request.address)
+        if not self.request_network.can_inject(destination):
+            self.stats.add("inject_stall_cycles")
+            return False
+        request.partition = destination
+        self.tracker.record_event(request, Event.ICNT_INJECT, now)
+        self.request_network.inject(sm_id, destination, request, now)
+        self.stats.add("requests_injected")
+        return True
+
+    def pop_response(self, sm_id: int) -> Optional[MemoryRequest]:
+        """Remove one response destined for ``sm_id``, if any has arrived."""
+        response = self.reply_network.pop(sm_id)
+        if response is not None:
+            self.stats.add("responses_delivered")
+        return response
+
+    # ------------------------------------------------------------------
+    # Per-cycle processing
+    # ------------------------------------------------------------------
+    def cycle(self, now: int) -> None:
+        """Advance the networks and all partitions by one cycle."""
+        self.request_network.cycle(now)
+        for partition in self.partitions:
+            while partition.can_accept():
+                request = self.request_network.peek(partition.partition_id)
+                if request is None:
+                    break
+                self.request_network.pop(partition.partition_id)
+                partition.accept(request, now)
+            partition.cycle(now)
+            injected = 0
+            while (
+                injected < self.reply_inject_per_cycle
+                and partition.return_queue
+                and self.reply_network.can_inject(partition.return_queue.peek().sm_id)
+            ):
+                response = partition.return_queue.pop()
+                self.reply_network.inject(
+                    partition.partition_id, response.sm_id, response, now
+                )
+                injected += 1
+        self.reply_network.cycle(now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        """Total requests anywhere in the off-SM memory system."""
+        return (
+            self.request_network.total_pending()
+            + self.reply_network.total_pending()
+            + sum(partition.in_flight() for partition in self.partitions)
+        )
+
+    def next_event_time(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which the memory system needs attention."""
+        candidates = []
+        for network in (self.request_network, self.reply_network):
+            event_time = network.next_event_time(now)
+            if event_time is not None:
+                candidates.append(event_time)
+        for partition in self.partitions:
+            event_time = partition.next_event_time(now)
+            if event_time is not None:
+                candidates.append(event_time)
+        return min(candidates) if candidates else None
+
+    def collect_stats(self) -> StatCounters:
+        """Aggregate statistics from all components into one collection."""
+        combined = StatCounters(prefix="memory")
+        combined.merge(self.stats.as_dict())
+        combined.merge(self.request_network.stats.as_dict())
+        combined.merge(self.reply_network.stats.as_dict())
+        for partition in self.partitions:
+            combined.merge(partition.stats.as_dict())
+            combined.merge(partition.dram.stats.as_dict())
+            if partition.l2 is not None:
+                combined.merge(partition.l2.stats.as_dict())
+                combined.merge(partition.l2.cache.stats.as_dict())
+                combined.merge(partition.l2.mshr.stats.as_dict())
+        return combined

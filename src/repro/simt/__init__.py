@@ -1,0 +1,34 @@
+"""SIMT core model: warps, schedulers, scoreboard, LD/ST unit, and the SM."""
+
+from repro.simt.core import CTAContext, KernelLaunch, StreamingMultiprocessor
+from repro.simt.coreconfig import CoreConfig, L1Config
+from repro.simt.ldst import LoadStoreUnit, LoadToken
+from repro.simt.scheduler import (
+    GreedyThenOldestScheduler,
+    LooseRoundRobinScheduler,
+    WarpScheduler,
+    available_warp_schedulers,
+    create_warp_scheduler,
+)
+from repro.simt.scoreboard import Scoreboard
+from repro.simt.simt_stack import SIMTStack, StackEntry
+from repro.simt.warp import Warp
+
+__all__ = [
+    "CTAContext",
+    "CoreConfig",
+    "GreedyThenOldestScheduler",
+    "KernelLaunch",
+    "L1Config",
+    "LoadStoreUnit",
+    "LoadToken",
+    "LooseRoundRobinScheduler",
+    "SIMTStack",
+    "Scoreboard",
+    "StackEntry",
+    "StreamingMultiprocessor",
+    "Warp",
+    "WarpScheduler",
+    "available_warp_schedulers",
+    "create_warp_scheduler",
+]

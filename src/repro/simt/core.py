@@ -1,0 +1,480 @@
+"""Streaming multiprocessor (SM) model.
+
+The SM is execution driven: when an instruction issues, its functional
+effect (register updates, memory address computation, value load/store) is
+applied immediately, while the timing model — scoreboard reservations,
+arithmetic pipeline latencies, and the LD/ST unit with the full memory
+hierarchy behind it — decides when dependent instructions may issue.
+
+The SM also feeds the latency instrumentation: every cycle in which at
+least one instruction issues is reported to the tracker, which is the raw
+data behind the paper's exposed/hidden latency analysis (Figure 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.tracker import LatencyTracker
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MemSpace, Opcode, Unit
+from repro.isa.operands import Imm, Param, Pred, Reg, Special
+from repro.isa.program import Program
+from repro.isa import semantics
+from repro.memory.globalmem import GlobalMemory, WORD_SIZE
+from repro.memory.subsystem import MemorySystem
+from repro.simt.coreconfig import CoreConfig
+from repro.simt.ldst import LoadStoreUnit, LoadToken
+from repro.simt.scheduler import WarpScheduler, create_warp_scheduler
+from repro.simt.warp import Warp
+from repro.utils.errors import SimulationError
+from repro.utils.stats import StatCounters
+
+
+@dataclass
+class KernelLaunch:
+    """Everything needed to execute one kernel grid.
+
+    Attributes
+    ----------
+    program:
+        The assembled kernel.
+    grid_dim / block_dim:
+        Number of CTAs and threads per CTA (1-D, as in the bundled
+        workloads).
+    params:
+        Launch-time scalar parameter values, keyed by name.
+    local_base:
+        Base address in global memory of the per-thread local-memory
+        backing store (0 when the kernel uses no local memory).
+    """
+
+    program: Program
+    grid_dim: int
+    block_dim: int
+    params: Dict[str, float] = field(default_factory=dict)
+    local_base: int = 0
+
+    def __post_init__(self) -> None:
+        if self.grid_dim < 1 or self.block_dim < 1:
+            raise SimulationError("grid_dim and block_dim must be >= 1")
+        missing = set(self.program.param_names) - set(self.params)
+        if missing:
+            raise SimulationError(
+                f"kernel {self.program.name!r} missing parameters: {sorted(missing)}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        """Total threads in the grid."""
+        return self.grid_dim * self.block_dim
+
+
+class CTAContext:
+    """Per-CTA state resident on an SM (shared memory, member warps)."""
+
+    def __init__(self, cta_id: int, launch: KernelLaunch, warps: List[Warp]) -> None:
+        self.cta_id = cta_id
+        self.launch = launch
+        self.warps = warps
+        words = max(launch.program.shared_bytes // WORD_SIZE, 1)
+        self.shared = np.zeros(words, dtype=np.float64)
+
+    def all_done(self) -> bool:
+        """Whether every warp of this CTA has retired."""
+        return all(warp.done for warp in self.warps)
+
+    def barrier_reached(self) -> bool:
+        """Whether every live warp of this CTA is waiting at the barrier."""
+        live = [warp for warp in self.warps if not warp.done]
+        return bool(live) and all(warp.at_barrier for warp in live)
+
+    def release_barrier(self) -> None:
+        """Let all warps continue past the barrier."""
+        for warp in self.warps:
+            warp.at_barrier = False
+
+
+class StreamingMultiprocessor:
+    """One SIMT core: warps, schedulers, ALU/SFU pipelines, LD/ST unit."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: CoreConfig,
+        memory_system: MemorySystem,
+        global_memory: GlobalMemory,
+        tracker: LatencyTracker,
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.memory_system = memory_system
+        self.global_memory = global_memory
+        self.tracker = tracker
+        self.schedulers: List[WarpScheduler] = [
+            create_warp_scheduler(config.warp_scheduler, index)
+            for index in range(config.num_schedulers)
+        ]
+        self.ldst = LoadStoreUnit(sm_id, config, memory_system, tracker)
+        self.ldst.on_load_complete = self._on_load_complete
+        self.ctas: Dict[int, CTAContext] = {}
+        self._warp_cta: Dict[int, CTAContext] = {}
+        self._alu_pipe: List[tuple] = []
+        self._sequence = itertools.count()
+        self._next_local_warp = 0
+        self.retired_ctas: List[int] = []
+        self.stats = StatCounters(prefix=f"sm{self.sm_id}")
+
+    # ------------------------------------------------------------------
+    # CTA management
+    # ------------------------------------------------------------------
+    def resident_warps(self) -> List[Warp]:
+        """All warps currently resident on this SM."""
+        return [warp for cta in self.ctas.values() for warp in cta.warps]
+
+    def warps_per_cta(self, launch: KernelLaunch) -> int:
+        """Warps needed for one CTA of ``launch``."""
+        return -(-launch.block_dim // self.config.warp_size)
+
+    def shared_bytes_in_use(self) -> int:
+        """Shared memory currently allocated to resident CTAs."""
+        return sum(cta.launch.program.shared_bytes for cta in self.ctas.values())
+
+    def can_accept_cta(self, launch: KernelLaunch) -> bool:
+        """Whether occupancy limits allow another CTA of ``launch``."""
+        if len(self.ctas) >= self.config.max_ctas:
+            return False
+        needed_warps = self.warps_per_cta(launch)
+        if len(self.resident_warps()) + needed_warps > self.config.max_warps:
+            return False
+        if (
+            self.shared_bytes_in_use() + launch.program.shared_bytes
+            > self.config.shared_mem_bytes
+        ):
+            return False
+        return True
+
+    def launch_cta(self, cta_id: int, launch: KernelLaunch, now: int) -> None:
+        """Place one CTA (its warps and shared memory) onto this SM."""
+        if not self.can_accept_cta(launch):
+            raise SimulationError(f"SM {self.sm_id} cannot accept CTA {cta_id}")
+        warp_size = self.config.warp_size
+        num_warps = self.warps_per_cta(launch)
+        warps: List[Warp] = []
+        for warp_in_cta in range(num_warps):
+            lane_tids = warp_in_cta * warp_size + np.arange(warp_size)
+            valid = lane_tids < launch.block_dim
+            warp = Warp(
+                warp_id=self.sm_id * 100000 + self._next_local_warp,
+                warp_in_cta=warp_in_cta,
+                cta_id=cta_id,
+                sm_id=self.sm_id,
+                program=launch.program,
+                warp_size=warp_size,
+                valid_mask=valid,
+            )
+            warp.launch_order = now * 1000 + self._next_local_warp
+            self._next_local_warp += 1
+            warps.append(warp)
+        context = CTAContext(cta_id, launch, warps)
+        self.ctas[cta_id] = context
+        for warp in warps:
+            self._warp_cta[warp.warp_id] = context
+        self.stats.add("ctas_launched")
+
+    def _retire_finished_ctas(self) -> None:
+        finished = [cta_id for cta_id, cta in self.ctas.items() if cta.all_done()]
+        for cta_id in finished:
+            context = self.ctas.pop(cta_id)
+            for warp in context.warps:
+                self._warp_cta.pop(warp.warp_id, None)
+            self.retired_ctas.append(cta_id)
+            self.stats.add("ctas_retired")
+
+    # ------------------------------------------------------------------
+    # Per-cycle processing
+    # ------------------------------------------------------------------
+    def cycle(self, now: int) -> bool:
+        """Advance the SM one cycle; returns whether anything issued."""
+        self.ldst.process_writebacks(now)
+        self._complete_alu(now)
+        self._release_barriers()
+        issued = self._issue_stage(now)
+        self.ldst.cycle(now)
+        self._retire_finished_ctas()
+        if issued:
+            self.tracker.note_issue_cycle(self.sm_id, now)
+            self.stats.add("active_cycles")
+        return issued
+
+    def _complete_alu(self, now: int) -> None:
+        while self._alu_pipe and self._alu_pipe[0][0] <= now:
+            _, _, warp, instruction = heapq.heappop(self._alu_pipe)
+            if not warp.done:
+                warp.scoreboard.release(instruction)
+
+    def _release_barriers(self) -> None:
+        for cta in self.ctas.values():
+            if cta.barrier_reached():
+                cta.release_barrier()
+                self.stats.add("barriers_released")
+
+    def _scheduler_warps(self, scheduler_index: int) -> List[Warp]:
+        return [
+            warp
+            for warp in self.resident_warps()
+            if warp.warp_id % self.config.num_schedulers == scheduler_index
+        ]
+
+    def _issue_stage(self, now: int) -> bool:
+        issued_any = False
+        for scheduler in self.schedulers:
+            candidates = [
+                warp
+                for warp in self._scheduler_warps(scheduler.scheduler_id)
+                if self._warp_ready(warp)
+            ]
+            warp = scheduler.select(candidates, now)
+            if warp is None:
+                self.stats.add("issue_idle_cycles")
+                continue
+            self._issue(warp, now)
+            scheduler.notify_issue(warp, now)
+            warp.last_issue_cycle = now
+            warp.instructions_issued += 1
+            issued_any = True
+            self.stats.add("instructions_issued")
+        return issued_any
+
+    def _warp_ready(self, warp: Warp) -> bool:
+        if warp.done or warp.at_barrier:
+            return False
+        instruction = warp.next_instruction()
+        if instruction is None:
+            warp.finish()
+            return False
+        if warp.scoreboard.has_hazard(instruction):
+            return False
+        if instruction.is_memory and not self.ldst.can_accept():
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Operand access
+    # ------------------------------------------------------------------
+    def _read_operand(self, warp: Warp, cta: CTAContext, operand) -> np.ndarray:
+        warp_size = self.config.warp_size
+        if isinstance(operand, Reg):
+            return warp.registers[operand.index]
+        if isinstance(operand, Pred):
+            return warp.predicates[operand.index].astype(np.float64)
+        if isinstance(operand, Imm):
+            return np.full(warp_size, operand.value, dtype=np.float64)
+        if isinstance(operand, Param):
+            value = cta.launch.params[operand.name]
+            return np.full(warp_size, float(value), dtype=np.float64)
+        if isinstance(operand, Special):
+            return self._read_special(warp, cta, operand.name)
+        raise SimulationError(f"cannot read operand {operand!r}")
+
+    def _read_special(self, warp: Warp, cta: CTAContext, name: str) -> np.ndarray:
+        warp_size = self.config.warp_size
+        launch = cta.launch
+        if name == "tid":
+            return warp.thread_indices(launch.block_dim)
+        if name == "ctaid":
+            return np.full(warp_size, float(warp.cta_id), dtype=np.float64)
+        if name == "ntid":
+            return np.full(warp_size, float(launch.block_dim), dtype=np.float64)
+        if name == "nctaid":
+            return np.full(warp_size, float(launch.grid_dim), dtype=np.float64)
+        if name == "laneid":
+            return warp.lane_indices()
+        if name == "warpid":
+            return np.full(warp_size, float(warp.warp_in_cta), dtype=np.float64)
+        if name == "smid":
+            return np.full(warp_size, float(self.sm_id), dtype=np.float64)
+        if name == "gtid":
+            return (
+                warp.cta_id * launch.block_dim
+                + warp.thread_indices(launch.block_dim)
+            )
+        raise SimulationError(f"unknown special register {name!r}")
+
+    # ------------------------------------------------------------------
+    # Issue / functional execution
+    # ------------------------------------------------------------------
+    def _issue(self, warp: Warp, now: int) -> None:
+        cta = self._warp_cta[warp.warp_id]
+        instruction = warp.next_instruction()
+        if instruction is None:
+            warp.finish()
+            return
+        active = warp.active_mask.copy()
+        exec_mask = active
+        if instruction.guard is not None:
+            pred, negated = instruction.guard
+            guard_values = warp.predicates[pred.index]
+            guard_mask = ~guard_values if negated else guard_values
+            exec_mask = active & guard_mask
+        opcode = instruction.opcode
+        if opcode is Opcode.BRA:
+            self._execute_branch(warp, instruction, exec_mask)
+            return
+        if opcode is Opcode.EXIT:
+            self._execute_exit(warp, instruction, exec_mask)
+            return
+        if opcode is Opcode.BAR:
+            warp.at_barrier = True
+            warp.stack.advance(instruction.pc + 1)
+            return
+        if opcode is Opcode.NOP:
+            warp.stack.advance(instruction.pc + 1)
+            return
+        if instruction.is_memory:
+            self._execute_memory(warp, cta, instruction, exec_mask, now)
+            warp.stack.advance(instruction.pc + 1)
+            return
+        self._execute_arithmetic(warp, cta, instruction, exec_mask, now)
+        warp.stack.advance(instruction.pc + 1)
+
+    def _execute_branch(self, warp: Warp, instruction: Instruction,
+                        exec_mask: np.ndarray) -> None:
+        self.stats.add("branches")
+        if instruction.guard is not None and bool(exec_mask.any()) and not bool(
+            (warp.active_mask & ~exec_mask).any()
+        ):
+            self.stats.add("uniform_branches")
+        warp.stack.branch(
+            taken_mask=exec_mask,
+            target=instruction.target,
+            reconv=instruction.reconv,
+            fallthrough_pc=instruction.pc + 1,
+        )
+        if warp.stack.depth > 1:
+            self.stats.add("divergent_stack_cycles")
+
+    def _execute_exit(self, warp: Warp, instruction: Instruction,
+                      exec_mask: np.ndarray) -> None:
+        remaining = warp.active_mask & ~exec_mask
+        warp.exit_lanes(exec_mask)
+        if not warp.done and bool(remaining.any()):
+            warp.stack.advance(instruction.pc + 1)
+        self.stats.add("warps_finished" if warp.done else "partial_exits")
+
+    def _execute_arithmetic(self, warp: Warp, cta: CTAContext,
+                            instruction: Instruction, exec_mask: np.ndarray,
+                            now: int) -> None:
+        sources = [self._read_operand(warp, cta, src) for src in instruction.srcs]
+        result = semantics.compute(instruction, sources)
+        dst = instruction.dst
+        if isinstance(dst, Reg):
+            warp.registers[dst.index][exec_mask] = result[exec_mask]
+        elif isinstance(dst, Pred):
+            warp.predicates[dst.index][exec_mask] = result.astype(bool)[exec_mask]
+        warp.scoreboard.reserve(instruction)
+        latency = (
+            self.config.sfu_latency
+            if instruction.unit is Unit.SFU
+            else self.config.alu_latency
+        )
+        heapq.heappush(
+            self._alu_pipe,
+            (now + latency, next(self._sequence), warp, instruction),
+        )
+
+    def _execute_memory(self, warp: Warp, cta: CTAContext,
+                        instruction: Instruction, exec_mask: np.ndarray,
+                        now: int) -> None:
+        launch = cta.launch
+        address_operand = instruction.srcs[0]
+        addresses = (
+            self._read_operand(warp, cta, address_operand).astype(np.int64)
+            + instruction.offset
+        )
+        space = instruction.space
+        if space is MemSpace.LOCAL:
+            global_tids = (
+                warp.cta_id * launch.block_dim
+                + warp.thread_indices(launch.block_dim)
+            ).astype(np.int64)
+            addresses = (
+                launch.local_base
+                + global_tids * max(launch.program.local_bytes, WORD_SIZE)
+                + addresses
+            )
+        if instruction.is_load:
+            self._functional_load(warp, cta, instruction, addresses, exec_mask)
+            warp.scoreboard.reserve(instruction)
+        else:
+            self._functional_store(warp, cta, instruction, addresses, exec_mask)
+        self.ldst.issue(warp, instruction, addresses.astype(np.float64),
+                        exec_mask, now)
+        self.stats.add("memory_instructions")
+
+    def _functional_load(self, warp: Warp, cta: CTAContext,
+                         instruction: Instruction, addresses: np.ndarray,
+                         mask: np.ndarray) -> None:
+        if instruction.space is MemSpace.SHARED:
+            values = np.zeros(self.config.warp_size, dtype=np.float64)
+            if mask.any():
+                indices = (addresses[mask] // WORD_SIZE).astype(np.int64)
+                values[mask] = cta.shared[indices]
+        else:
+            values = self.global_memory.read_words(
+                addresses.astype(np.float64), mask
+            )
+        dst = instruction.dst
+        if isinstance(dst, Reg):
+            warp.registers[dst.index][mask] = values[mask]
+
+    def _functional_store(self, warp: Warp, cta: CTAContext,
+                          instruction: Instruction, addresses: np.ndarray,
+                          mask: np.ndarray) -> None:
+        values = self._read_operand(warp, cta, instruction.srcs[1])
+        if instruction.space is MemSpace.SHARED:
+            if mask.any():
+                indices = (addresses[mask] // WORD_SIZE).astype(np.int64)
+                cta.shared[indices] = values[mask]
+        else:
+            self.global_memory.write_words(
+                addresses.astype(np.float64), values, mask
+            )
+
+    # ------------------------------------------------------------------
+    # Completion callbacks
+    # ------------------------------------------------------------------
+    def _on_load_complete(self, token: LoadToken, cycle: int) -> None:
+        if not token.warp.done:
+            token.warp.scoreboard.release(token.instruction)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def busy(self) -> bool:
+        """Whether the SM still has resident work or in-flight operations."""
+        if any(not warp.done for warp in self.resident_warps()):
+            return True
+        return bool(self._alu_pipe) or self.ldst.busy()
+
+    def next_event_time(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which SM state can change."""
+        candidates = []
+        if self._alu_pipe:
+            candidates.append(max(self._alu_pipe[0][0], now + 1))
+        ldst_next = self.ldst.next_event_time(now)
+        if ldst_next is not None:
+            candidates.append(ldst_next)
+        return min(candidates) if candidates else None
+
+    def collect_stats(self) -> StatCounters:
+        """Combined SM statistics including the LD/ST unit and L1 cache."""
+        combined = StatCounters(prefix=f"sm{self.sm_id}")
+        combined.merge(self.stats.as_dict())
+        combined.merge(self.ldst.collect_stats().as_dict())
+        return combined

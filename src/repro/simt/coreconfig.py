@@ -1,0 +1,124 @@
+"""Configuration of a streaming multiprocessor (SM) and its L1 data cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.cache import CacheGeometry
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class L1Config:
+    """L1 data cache configuration, including which spaces it serves.
+
+    The generation-specific policies from the paper map onto two flags:
+
+    * Fermi (GF106/GF100): ``cache_global=True``, ``cache_local=True``
+    * Kepler (GK104): ``cache_global=False``, ``cache_local=True`` — "the
+      L1 data cache is accessible only by local memory accesses"
+    * Maxwell (GM107) and Tesla (GT200): ``enabled=False`` — no L1 on the
+      global/local path at all.
+    """
+
+    enabled: bool = True
+    cache_global: bool = True
+    cache_local: bool = True
+    geometry: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(16 * 1024, 128, 4, name="l1d")
+    )
+    hit_latency: int = 30
+    mshr_entries: int = 32
+    mshr_max_merge: int = 8
+    miss_queue_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.hit_latency < 1:
+            raise ConfigurationError("L1 hit_latency must be >= 1")
+        if self.miss_queue_size < 1:
+            raise ConfigurationError("L1 miss_queue_size must be >= 1")
+        if self.mshr_entries < 1:
+            raise ConfigurationError("L1 mshr_entries must be >= 1")
+
+    def caches_space(self, is_local: bool) -> bool:
+        """Whether this L1 caches accesses from the given space."""
+        if not self.enabled:
+            return False
+        return self.cache_local if is_local else self.cache_global
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Streaming multiprocessor configuration.
+
+    Attributes
+    ----------
+    warp_size:
+        Threads per warp.
+    max_warps / max_ctas:
+        Occupancy limits per SM.
+    num_schedulers:
+        Warp schedulers per SM (each can issue one instruction per cycle).
+    warp_scheduler:
+        ``"lrr"`` or ``"gto"``.
+    alu_latency / sfu_latency:
+        Result latencies of the arithmetic pipelines (fully pipelined).
+    shared_latency / shared_banks:
+        Shared-memory access latency and bank count (for conflict modelling).
+    sm_base_latency:
+        Cycles between a memory instruction issuing and its requests
+        reaching the L1 tags — the front half of the paper's "SM Base"
+        component.
+    writeback_latency:
+        Cycles between a response arriving back at the SM and the loaded
+        value being written to the register file.
+    ldst_queue_size:
+        Warp-level memory instructions that can be buffered in the LD/ST
+        unit.
+    icnt_inject_rate:
+        Miss-queue entries that can be injected into the interconnect per
+        cycle.
+    shared_mem_bytes:
+        Shared memory capacity per SM (limits concurrent CTAs).
+    l1:
+        L1 data cache configuration.
+    """
+
+    warp_size: int = 32
+    max_warps: int = 48
+    max_ctas: int = 8
+    num_schedulers: int = 2
+    warp_scheduler: str = "gto"
+    alu_latency: int = 18
+    sfu_latency: int = 36
+    shared_latency: int = 24
+    shared_banks: int = 32
+    sm_base_latency: int = 8
+    writeback_latency: int = 4
+    ldst_queue_size: int = 8
+    icnt_inject_rate: int = 1
+    shared_mem_bytes: int = 48 * 1024
+    l1: L1Config = field(default_factory=L1Config)
+
+    def __post_init__(self) -> None:
+        if self.warp_size < 1:
+            raise ConfigurationError("warp_size must be >= 1")
+        if self.max_warps < 1:
+            raise ConfigurationError("max_warps must be >= 1")
+        if self.max_ctas < 1:
+            raise ConfigurationError("max_ctas must be >= 1")
+        if self.num_schedulers < 1:
+            raise ConfigurationError("num_schedulers must be >= 1")
+        if self.alu_latency < 1 or self.sfu_latency < 1:
+            raise ConfigurationError("pipeline latencies must be >= 1")
+        if self.sm_base_latency < 1:
+            raise ConfigurationError("sm_base_latency must be >= 1")
+        if self.writeback_latency < 1:
+            raise ConfigurationError("writeback_latency must be >= 1")
+        if self.ldst_queue_size < 1:
+            raise ConfigurationError("ldst_queue_size must be >= 1")
+        if self.icnt_inject_rate < 1:
+            raise ConfigurationError("icnt_inject_rate must be >= 1")
+        if self.shared_banks < 1:
+            raise ConfigurationError("shared_banks must be >= 1")

@@ -1,0 +1,415 @@
+"""Load/store unit of an SM.
+
+The LD/ST unit receives warp-level memory instructions from the issue
+stage, coalesces their per-lane addresses into line-sized memory requests,
+services them against the L1 data cache (when the architecture caches that
+space), and sends misses through the miss queue into the interconnect.
+Returning responses fill the L1, release MSHR entries, and schedule
+register writebacks.
+
+Timestamps recorded here correspond to the first two components of the
+paper's Figure 1 breakdown: the time between instruction issue and the L1
+tag access is part of "SM Base", and the time a missed request spends
+waiting in the miss queue for interconnect credits is "L1toICNT".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.stages import Event
+from repro.core.tracker import LatencyTracker
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MemSpace
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.mshr import MSHRTable
+from repro.memory.request import MemoryRequest
+from repro.memory.subsystem import MemorySystem
+from repro.simt.coreconfig import CoreConfig
+from repro.simt.warp import Warp
+from repro.utils.queues import BoundedQueue
+from repro.utils.stats import StatCounters
+
+
+class LoadToken:
+    """Tracks completion of one warp-level load instruction."""
+
+    def __init__(self, warp: Warp, instruction: Instruction,
+                 issue_cycle: int, space: MemSpace) -> None:
+        self.warp = warp
+        self.instruction = instruction
+        self.issue_cycle = issue_cycle
+        self.space = space
+        self.expected = 0
+        self.completed = 0
+        self.complete_cycle = -1
+        self.all_l1_hits = True
+
+    def register_request(self) -> None:
+        """Account for one more memory request belonging to this load."""
+        self.expected += 1
+
+    def complete_one(self, cycle: int, l1_hit: bool) -> None:
+        """Record completion of one request; updates the completion cycle."""
+        self.completed += 1
+        self.complete_cycle = max(self.complete_cycle, cycle)
+        self.all_l1_hits = self.all_l1_hits and l1_hit
+
+    @property
+    def finished(self) -> bool:
+        """Whether every request of this load has returned."""
+        return self.expected > 0 and self.completed >= self.expected
+
+
+class PendingMemoryInstruction:
+    """A warp-level memory instruction buffered inside the LD/ST unit.
+
+    The coalesced line addresses are computed when the instruction is
+    accepted, but the actual :class:`MemoryRequest` objects are created
+    lazily — one per cycle, when the access is about to probe the L1 —
+    mirroring GPGPU-Sim, where a ``mem_fetch`` only exists from the L1
+    access onwards.  Back-pressure from the memory system therefore keeps
+    un-issued accesses invisible to the per-request latency accounting
+    (they delay the *load instruction*, not any individual request).
+    """
+
+    def __init__(self, warp: Warp, instruction: Instruction,
+                 addresses: np.ndarray, mask: np.ndarray,
+                 token: Optional[LoadToken], lines: List[int]) -> None:
+        self.warp = warp
+        self.instruction = instruction
+        self.addresses = addresses
+        self.mask = mask
+        self.token = token
+        self.remaining_lines = list(lines)
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether this instruction targets shared memory."""
+        return self.instruction.space is MemSpace.SHARED
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every coalesced access has been handed to the L1 stage."""
+        return not self.remaining_lines
+
+
+class LoadStoreUnit:
+    """Per-SM memory pipeline front end (coalescer, L1, miss queue)."""
+
+    #: Maximum accesses buffered between generation and the L1 tag stage.
+    L1_STAGE_DEPTH = 4
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: CoreConfig,
+        memory_system: MemorySystem,
+        tracker: LatencyTracker,
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.memory_system = memory_system
+        self.tracker = tracker
+        self.line_size = config.l1.geometry.line_size
+        self.l1: Optional[SetAssociativeCache] = (
+            SetAssociativeCache(config.l1.geometry) if config.l1.enabled else None
+        )
+        self.l1_mshr = MSHRTable(
+            config.l1.mshr_entries, config.l1.mshr_max_merge,
+            name=f"l1mshr{sm_id}",
+        )
+        self.instruction_queue: Deque[PendingMemoryInstruction] = deque()
+        self.l1_access_queue: Deque[Tuple[int, MemoryRequest]] = deque()
+        self.miss_queue: BoundedQueue[MemoryRequest] = BoundedQueue(
+            config.l1.miss_queue_size, name=f"sm{sm_id}.missq"
+        )
+        self._writebacks: List[Tuple[int, int, Optional[MemoryRequest],
+                                     Optional[LoadToken], bool]] = []
+        self._sequence = itertools.count()
+        self.on_load_complete: Optional[Callable[[LoadToken, int], None]] = None
+        self.stats = StatCounters(prefix=f"sm{sm_id}.ldst")
+
+    # ------------------------------------------------------------------
+    # Issue-side interface (called by the SM)
+    # ------------------------------------------------------------------
+    def can_accept(self) -> bool:
+        """Whether another warp-level memory instruction can be buffered."""
+        return len(self.instruction_queue) < self.config.ldst_queue_size
+
+    def issue(
+        self,
+        warp: Warp,
+        instruction: Instruction,
+        addresses: np.ndarray,
+        mask: np.ndarray,
+        now: int,
+    ) -> Optional[LoadToken]:
+        """Accept a memory instruction; returns a token for loads."""
+        token: Optional[LoadToken] = None
+        if instruction.is_load:
+            token = LoadToken(warp, instruction, now, instruction.space)
+        lines: List[int] = []
+        if instruction.space is not MemSpace.SHARED:
+            active = addresses[mask].astype(np.int64)
+            if len(active):
+                unique = np.unique((active // self.line_size) * self.line_size)
+                lines = [int(line) for line in unique]
+                self.stats.add("coalesced_accesses", len(lines))
+        if token is not None:
+            if instruction.space is MemSpace.SHARED or lines:
+                token.expected = max(len(lines), 1)
+            else:
+                # A fully predicated-off load still has to release its
+                # destination register; complete it with a dummy writeback.
+                token.expected = 1
+                heapq.heappush(
+                    self._writebacks,
+                    (now + 1, next(self._sequence), None, token, True),
+                )
+        if instruction.space is MemSpace.SHARED or lines or instruction.is_store:
+            self.instruction_queue.append(
+                PendingMemoryInstruction(warp, instruction, addresses.copy(),
+                                         mask.copy(), token, lines)
+            )
+        self.stats.add("instructions_accepted")
+        return token
+
+    # ------------------------------------------------------------------
+    # Writeback processing (called early in the SM cycle)
+    # ------------------------------------------------------------------
+    def process_writebacks(self, now: int) -> None:
+        """Complete requests whose writeback time has been reached."""
+        while self._writebacks and self._writebacks[0][0] <= now:
+            time, _, request, token, l1_hit = heapq.heappop(self._writebacks)
+            if request is not None:
+                self.tracker.finish_request(request, time)
+            self._complete_token(token, time, l1_hit)
+
+    def _complete_token(self, token: Optional[LoadToken], time: int,
+                        l1_hit: bool) -> None:
+        if token is None:
+            return
+        token.complete_one(time, l1_hit)
+        if token.finished:
+            self.tracker.record_load(
+                sm_id=self.sm_id,
+                warp_id=token.warp.warp_id,
+                pc=token.instruction.pc,
+                space=token.space.value,
+                issue_cycle=token.issue_cycle,
+                complete_cycle=time,
+                num_requests=token.expected,
+                l1_hit=token.all_l1_hits,
+            )
+            if self.on_load_complete is not None:
+                self.on_load_complete(token, time)
+
+    # ------------------------------------------------------------------
+    # Backend processing
+    # ------------------------------------------------------------------
+    def cycle(self, now: int) -> None:
+        """Advance the LD/ST pipelines by one cycle."""
+        self._accept_responses(now)
+        self._access_l1(now)
+        self._drain_miss_queue(now)
+        self._generate_accesses(now)
+
+    def _accept_responses(self, now: int) -> None:
+        while True:
+            response = self.memory_system.pop_response(self.sm_id)
+            if response is None:
+                return
+            self._handle_response(response, now)
+
+    def _handle_response(self, response: MemoryRequest, now: int) -> None:
+        """Fill the L1 (when applicable) and schedule register writebacks.
+
+        Requests that merged onto this line at the L1 MSHR never travelled
+        downstream themselves; their writebacks are scheduled here when the
+        shared fill returns.  Requests that merged at the L2 return as their
+        own responses and are therefore *not* completed from this path.
+        """
+        writeback_time = now + self.config.writeback_latency
+        waiters: List[MemoryRequest] = [response]
+        caches = self._l1_caches_space(response.space)
+        if caches and self.l1 is not None:
+            line = self.l1.line_address(response.address)
+            if self.l1_mshr.lookup(line) is not None:
+                self.l1.fill(line)
+                entry = self.l1_mshr.release(line)
+                waiters = [entry.primary] + list(entry.merged)
+        for waiter in waiters:
+            heapq.heappush(
+                self._writebacks,
+                (writeback_time, next(self._sequence), waiter,
+                 waiter.load_token, False),
+            )
+        self.stats.add("responses")
+
+    def _l1_caches_space(self, space: MemSpace) -> bool:
+        return self.config.l1.caches_space(space is MemSpace.LOCAL)
+
+    def _access_l1(self, now: int) -> None:
+        if not self.l1_access_queue:
+            return
+        ready_time, request = self.l1_access_queue[0]
+        if ready_time > now:
+            return
+        self.tracker.record_event(request, Event.L1_ACCESS, now)
+        caches = self._l1_caches_space(request.space)
+        if request.is_write:
+            if self.miss_queue.full():
+                self.stats.add("miss_queue_stall_cycles")
+                return
+            self.l1_access_queue.popleft()
+            if caches and self.l1 is not None:
+                self.l1.invalidate(request.address)
+            self.miss_queue.push(request)
+            return
+        if not caches or self.l1 is None:
+            if self.miss_queue.full():
+                self.stats.add("miss_queue_stall_cycles")
+                return
+            self.l1_access_queue.popleft()
+            self.miss_queue.push(request)
+            return
+        line = self.l1.line_address(request.address)
+        if self.l1.probe(request.address):
+            self.l1_access_queue.popleft()
+            self.l1.access(request.address)
+            request.l1_hit = True
+            heapq.heappush(
+                self._writebacks,
+                (now + self.config.l1.hit_latency + self.config.writeback_latency,
+                 next(self._sequence), request, request.load_token, True),
+            )
+            return
+        if self.l1_mshr.lookup(line) is not None:
+            if self.l1_mshr.can_merge(line):
+                self.l1_access_queue.popleft()
+                self.l1.stats.add("misses")
+                self.l1_mshr.merge(line, request)
+                self.stats.add("mshr_merges")
+            else:
+                self.stats.add("mshr_merge_stall_cycles")
+            return
+        if self.l1_mshr.full():
+            self.stats.add("mshr_full_stall_cycles")
+            return
+        if self.miss_queue.full():
+            self.stats.add("miss_queue_stall_cycles")
+            return
+        self.l1_access_queue.popleft()
+        self.l1.stats.add("misses")
+        self.l1_mshr.allocate(line, request)
+        self.miss_queue.push(request)
+
+    def _drain_miss_queue(self, now: int) -> None:
+        for _ in range(self.config.icnt_inject_rate):
+            request = self.miss_queue.peek()
+            if request is None:
+                return
+            if not self.memory_system.try_inject(self.sm_id, request, now):
+                self.stats.add("icnt_stall_cycles")
+                return
+            self.miss_queue.pop()
+
+    def _generate_accesses(self, now: int) -> None:
+        """Turn the head instruction's next coalesced access into a request.
+
+        At most one access is generated per cycle, and only while the L1
+        stage has room — any further backlog stays inside the instruction
+        queue where it delays the warp, not the per-request latency
+        accounting (matching the paper's instrumentation, which starts a
+        request's lifetime at the SM's memory pipeline).
+        """
+        if not self.instruction_queue:
+            return
+        pending = self.instruction_queue[0]
+        if pending.is_shared:
+            self.instruction_queue.popleft()
+            self._process_shared(pending, now)
+            return
+        if pending.exhausted:
+            self.instruction_queue.popleft()
+            return
+        if len(self.l1_access_queue) >= self.L1_STAGE_DEPTH:
+            self.stats.add("l1_stage_full_cycles")
+            return
+        line = pending.remaining_lines.pop(0)
+        request = MemoryRequest(
+            address=line,
+            size=self.line_size,
+            is_write=pending.instruction.is_store,
+            space=pending.instruction.space,
+            sm_id=self.sm_id,
+            warp_id=pending.warp.warp_id,
+            pc=pending.instruction.pc,
+            tracked=True,
+            load_token=pending.token,
+        )
+        self.tracker.record_event(request, Event.ISSUE, now)
+        self.l1_access_queue.append(
+            (now + self.config.sm_base_latency, request)
+        )
+        if pending.exhausted:
+            self.instruction_queue.popleft()
+
+    def _process_shared(self, pending: PendingMemoryInstruction,
+                        now: int) -> None:
+        """Model a shared-memory access: latency plus bank-conflict cycles."""
+        active = pending.addresses[pending.mask].astype(np.int64)
+        if len(active):
+            banks = (active // 4) % self.config.shared_banks
+            _, counts = np.unique(banks, return_counts=True)
+            conflict_degree = int(counts.max())
+        else:
+            conflict_degree = 1
+        extra = conflict_degree - 1
+        self.stats.add("shared_accesses")
+        self.stats.add("shared_bank_conflict_cycles", extra)
+        if pending.token is not None:
+            complete = now + self.config.shared_latency + extra
+            heapq.heappush(
+                self._writebacks,
+                (complete, next(self._sequence), None, pending.token, True),
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def busy(self) -> bool:
+        """Whether any work is buffered inside the LD/ST unit."""
+        return bool(
+            self.instruction_queue
+            or self.l1_access_queue
+            or self.miss_queue
+            or self._writebacks
+            or len(self.l1_mshr)
+        )
+
+    def next_event_time(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which the unit has work to do."""
+        candidates = []
+        if self._writebacks:
+            candidates.append(max(self._writebacks[0][0], now + 1))
+        if self.l1_access_queue:
+            candidates.append(max(self.l1_access_queue[0][0], now + 1))
+        if self.miss_queue or self.instruction_queue:
+            candidates.append(now + 1)
+        return min(candidates) if candidates else None
+
+    def collect_stats(self) -> StatCounters:
+        """Combined statistics of the LD/ST unit, L1 cache, and L1 MSHRs."""
+        combined = StatCounters(prefix=f"sm{self.sm_id}")
+        combined.merge(self.stats.as_dict())
+        if self.l1 is not None:
+            combined.merge(self.l1.stats.as_dict())
+        combined.merge(self.l1_mshr.stats.as_dict())
+        return combined

@@ -1,0 +1,80 @@
+"""Per-warp scoreboard.
+
+The scoreboard prevents a warp from issuing an instruction whose source or
+destination registers are still pending a write from an earlier,
+still-in-flight instruction (RAW and WAW hazards).  Long-latency loads keep
+their destination registers reserved until the memory system returns the
+value — this is exactly the mechanism through which memory latency becomes
+*exposed* when no other warp has issuable work.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Pred, Reg
+from repro.utils.errors import SimulationError
+
+
+class Scoreboard:
+    """Tracks registers with outstanding writes for one warp."""
+
+    def __init__(self) -> None:
+        self._busy_regs: Set[int] = set()
+        self._busy_preds: Set[int] = set()
+
+    def pending_writes(self) -> int:
+        """Number of registers (of either kind) currently reserved."""
+        return len(self._busy_regs) + len(self._busy_preds)
+
+    def has_hazard(self, instruction: Instruction) -> bool:
+        """Whether ``instruction`` must wait for an outstanding write."""
+        for reg in instruction.reads_registers():
+            if reg.index in self._busy_regs:
+                return True
+        for pred in instruction.reads_predicates():
+            if pred.index in self._busy_preds:
+                return True
+        dst_reg = instruction.writes_register()
+        if dst_reg is not None and dst_reg.index in self._busy_regs:
+            return True
+        dst_pred = instruction.writes_predicate()
+        if dst_pred is not None and dst_pred.index in self._busy_preds:
+            return True
+        return False
+
+    def reserve(self, instruction: Instruction) -> None:
+        """Mark the instruction's destination as having a pending write."""
+        dst_reg = instruction.writes_register()
+        if dst_reg is not None:
+            self._busy_regs.add(dst_reg.index)
+        dst_pred = instruction.writes_predicate()
+        if dst_pred is not None:
+            self._busy_preds.add(dst_pred.index)
+
+    def release(self, instruction: Instruction) -> None:
+        """Clear the pending write of the instruction's destination."""
+        dst_reg = instruction.writes_register()
+        if dst_reg is not None:
+            if dst_reg.index not in self._busy_regs:
+                raise SimulationError(f"release of non-busy register {dst_reg}")
+            self._busy_regs.discard(dst_reg.index)
+        dst_pred = instruction.writes_predicate()
+        if dst_pred is not None:
+            if dst_pred.index not in self._busy_preds:
+                raise SimulationError(f"release of non-busy predicate {dst_pred}")
+            self._busy_preds.discard(dst_pred.index)
+
+    def busy_register(self, reg: Reg) -> bool:
+        """Whether a specific general register has a pending write."""
+        return reg.index in self._busy_regs
+
+    def busy_predicate(self, pred: Pred) -> bool:
+        """Whether a specific predicate register has a pending write."""
+        return pred.index in self._busy_preds
+
+    def clear(self) -> None:
+        """Drop all reservations (used when a warp is retired)."""
+        self._busy_regs.clear()
+        self._busy_preds.clear()

@@ -1,0 +1,25 @@
+"""Shared infrastructure used across the simulator.
+
+The utilities here are deliberately small and dependency-free: bounded
+FIFO queues used throughout the memory pipeline, the exception hierarchy,
+and a statistics counter registry that components use to expose
+behavioural counters (hits, misses, stalls, ...).
+"""
+
+from repro.utils.errors import (
+    AssemblyError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
+from repro.utils.queues import BoundedQueue
+from repro.utils.stats import StatCounters
+
+__all__ = [
+    "AssemblyError",
+    "BoundedQueue",
+    "ConfigurationError",
+    "ReproError",
+    "SimulationError",
+    "StatCounters",
+]

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class AssemblyError(ReproError):
+    """A kernel program is malformed (bad operands, unpatched labels, ...)."""
+
+
+class SimulationError(ReproError):
+    """The timing or functional simulation reached an invalid state."""

@@ -1,0 +1,65 @@
+"""Lightweight statistics counters.
+
+Components expose behavioural counters (cache hits, row-buffer hits,
+issue stalls, ...) through a :class:`StatCounters` instance.  The GPU
+top-level aggregates them into a single report after a kernel completes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class StatCounters:
+    """A named collection of integer/float counters.
+
+    The class behaves like a ``dict`` with a default of zero and adds a few
+    conveniences for merging and pretty-printing.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._values: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (creating it at zero)."""
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def set(self, name: str, value: float) -> None:
+        """Set counter ``name`` to ``value`` directly."""
+        self._values[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Return the value of ``name`` or ``default`` when absent."""
+        return self._values.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._values.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of all counters, optionally prefixed."""
+        if not self.prefix:
+            return dict(self._values)
+        return {f"{self.prefix}.{k}": v for k, v in self._values.items()}
+
+    def merge(self, other: Mapping[str, float]) -> None:
+        """Add all counters from ``other`` into this collection."""
+        for key, value in other.items():
+            self.add(key, value)
+
+    def report(self) -> str:
+        """Return a human-readable multi-line report of all counters."""
+        lines = []
+        for key, value in sorted(self._values.items()):
+            shown = int(value) if float(value).is_integer() else round(value, 4)
+            lines.append(f"{self.prefix + '.' if self.prefix else ''}{key} = {shown}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatCounters({self.prefix!r}, {len(self._values)} counters)"

@@ -1,0 +1,77 @@
+"""Workloads: the kernels the latency analyses run on, plus input generators."""
+
+from typing import Dict, List, Type
+
+from repro.workloads.base import LaunchSpec, Workload
+from repro.workloads.bfs import UNVISITED, BFSWorkload, build_bfs_kernel
+from repro.workloads.graphs import CSRGraph, grid_graph, random_graph, reference_bfs
+from repro.workloads.matmul import MatMulWorkload, build_matmul_kernel
+from repro.workloads.pointer_chase import (
+    DEFAULT_UNROLL,
+    PointerChaseWorkload,
+    build_global_chase_kernel,
+    build_local_chase_kernel,
+    setup_pointer_chain,
+)
+from repro.workloads.reduction import ReductionWorkload, build_reduction_kernel
+from repro.workloads.spmv import SpMVWorkload, build_spmv_kernel
+from repro.workloads.stencil import StencilWorkload, build_stencil_kernel
+from repro.workloads.vecadd import VecAddWorkload, build_vecadd_kernel
+
+#: All bundled workload classes, keyed by their short name.
+WORKLOAD_REGISTRY: Dict[str, Type[Workload]] = {
+    BFSWorkload.name: BFSWorkload,
+    MatMulWorkload.name: MatMulWorkload,
+    PointerChaseWorkload.name: PointerChaseWorkload,
+    ReductionWorkload.name: ReductionWorkload,
+    SpMVWorkload.name: SpMVWorkload,
+    StencilWorkload.name: StencilWorkload,
+    VecAddWorkload.name: VecAddWorkload,
+}
+
+
+def available_workloads() -> List[str]:
+    """Names of all bundled workloads."""
+    return sorted(WORKLOAD_REGISTRY)
+
+
+def create_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a bundled workload by name."""
+    try:
+        workload_cls = WORKLOAD_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from exc
+    return workload_cls(**kwargs)
+
+
+__all__ = [
+    "BFSWorkload",
+    "CSRGraph",
+    "DEFAULT_UNROLL",
+    "LaunchSpec",
+    "MatMulWorkload",
+    "PointerChaseWorkload",
+    "ReductionWorkload",
+    "SpMVWorkload",
+    "StencilWorkload",
+    "UNVISITED",
+    "VecAddWorkload",
+    "WORKLOAD_REGISTRY",
+    "Workload",
+    "available_workloads",
+    "build_bfs_kernel",
+    "build_global_chase_kernel",
+    "build_local_chase_kernel",
+    "build_matmul_kernel",
+    "build_reduction_kernel",
+    "build_spmv_kernel",
+    "build_stencil_kernel",
+    "build_vecadd_kernel",
+    "create_workload",
+    "grid_graph",
+    "random_graph",
+    "reference_bfs",
+    "setup_pointer_chain",
+]

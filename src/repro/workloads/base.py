@@ -1,0 +1,83 @@
+"""Common infrastructure for the bundled workloads.
+
+A workload bundles a kernel (built with the ISA's :class:`KernelBuilder`),
+the host-side data preparation (allocating and initialising buffers in the
+GPU's global memory), the launch geometry, and a verification step that
+compares device results against a NumPy reference.  Workloads are the
+inputs of the dynamic latency analysis (Section III of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpu.gpu import GPU, KernelResult
+from repro.isa.program import Program
+
+
+@dataclass
+class LaunchSpec:
+    """Launch geometry and parameter values for one kernel launch."""
+
+    grid_dim: int
+    block_dim: int
+    params: Dict[str, float] = field(default_factory=dict)
+
+
+class Workload(ABC):
+    """Base class for runnable workloads.
+
+    Subclasses implement :meth:`build_program`, :meth:`prepare`, and
+    :meth:`verify`.  Iterative workloads (such as BFS) additionally override
+    :meth:`run` to perform multiple launches.
+    """
+
+    #: Short identifier used in reports and benchmark tables.
+    name: str = "workload"
+
+    def __init__(self) -> None:
+        self._program: Optional[Program] = None
+
+    @abstractmethod
+    def build_program(self) -> Program:
+        """Assemble and return the workload's kernel program."""
+
+    @abstractmethod
+    def prepare(self, gpu: GPU) -> LaunchSpec:
+        """Allocate and initialise device buffers; return the launch spec."""
+
+    @abstractmethod
+    def verify(self, gpu: GPU) -> bool:
+        """Check device results against the host reference."""
+
+    @property
+    def program(self) -> Program:
+        """The workload's program (built once and cached)."""
+        if self._program is None:
+            self._program = self.build_program()
+        return self._program
+
+    def run(self, gpu: GPU) -> List[KernelResult]:
+        """Prepare and execute the workload; returns all launch results."""
+        spec = self.prepare(gpu)
+        result = gpu.launch(
+            self.program,
+            grid_dim=spec.grid_dim,
+            block_dim=spec.block_dim,
+            params=spec.params,
+        )
+        return [result]
+
+    def run_verified(self, gpu: GPU) -> List[KernelResult]:
+        """Run the workload and raise if verification fails."""
+        results = self.run(gpu)
+        if not self.verify(gpu):
+            raise AssertionError(f"workload {self.name!r} failed verification")
+        return results
+
+    @staticmethod
+    def total_cycles(results: List[KernelResult]) -> int:
+        """Sum of cycles over all launches of a workload run."""
+        return sum(result.cycles for result in results)

@@ -1,0 +1,157 @@
+"""Breadth-first search — the paper's example workload for Figures 1 and 2.
+
+The kernel is the classic level-synchronous, node-parallel formulation
+(as in the Rodinia benchmark the paper's BFS kernel derives from): one
+thread per node, and a node whose level equals the current iteration
+relaxes all of its outgoing edges.  Its memory behaviour — data-dependent
+loads of neighbour levels scattered across the whole graph — is what makes
+its latency largely *exposed* rather than hidden.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.gpu.gpu import GPU, KernelResult
+from repro.isa.builder import KernelBuilder
+from repro.isa.program import Program
+from repro.workloads.base import LaunchSpec, Workload
+from repro.workloads.graphs import CSRGraph, random_graph, reference_bfs
+
+#: Value marking an unvisited node in the device ``levels`` array.
+UNVISITED = -1.0
+
+
+def build_bfs_kernel() -> Program:
+    """One level-synchronous BFS step (one thread per node)."""
+    builder = KernelBuilder("bfs_step")
+    node = builder.reg()
+    node_level = builder.reg()
+    next_level = builder.reg()
+    edge_start = builder.reg()
+    edge_end = builder.reg()
+    edge = builder.reg()
+    neighbor = builder.reg()
+    neighbor_level = builder.reg()
+    address = builder.reg()
+    neighbor_address = builder.reg()
+    out_of_bounds = builder.pred()
+    on_frontier = builder.pred()
+    unvisited = builder.pred()
+    n = builder.param("n")
+    level = builder.param("level")
+    row_offsets = builder.param("row_offsets")
+    col_indices = builder.param("col_indices")
+    levels = builder.param("levels")
+    changed = builder.param("changed")
+
+    builder.mov(node, builder.gtid)
+    builder.setp(out_of_bounds, "ge", node, n)
+    with builder.if_(out_of_bounds, negate=True):
+        builder.imad(address, node, 4, levels)
+        builder.ld_global(node_level, address)
+        builder.setp(on_frontier, "eq", node_level, level)
+        with builder.if_(on_frontier):
+            builder.iadd(next_level, level, 1)
+            builder.imad(address, node, 4, row_offsets)
+            builder.ld_global(edge_start, address)
+            builder.ld_global(edge_end, address, offset=4)
+            with builder.for_range(edge, edge_start, edge_end):
+                builder.imad(address, edge, 4, col_indices)
+                builder.ld_global(neighbor, address)
+                builder.imad(neighbor_address, neighbor, 4, levels)
+                builder.ld_global(neighbor_level, neighbor_address)
+                builder.setp(unvisited, "eq", neighbor_level, UNVISITED)
+                builder.st_global(neighbor_address, next_level, pred=unvisited)
+                builder.st_global(changed, 1, pred=unvisited)
+    return builder.build()
+
+
+class BFSWorkload(Workload):
+    """Level-synchronous BFS over a random graph."""
+
+    name = "bfs"
+
+    def __init__(self, num_nodes: int = 2048, avg_degree: int = 8,
+                 block_dim: int = 128, seed: int = 13,
+                 graph: CSRGraph = None, source: int = 0) -> None:
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.avg_degree = avg_degree
+        self.block_dim = block_dim
+        self.seed = seed
+        self.source = source
+        self.graph = graph if graph is not None else random_graph(
+            num_nodes, avg_degree, seed
+        )
+        self.num_nodes = self.graph.num_nodes
+        self._addresses = {}
+        self.levels_run = 0
+
+    def build_program(self) -> Program:
+        return build_bfs_kernel()
+
+    def prepare(self, gpu: GPU) -> LaunchSpec:
+        graph = self.graph
+        row_dev = gpu.allocate(4 * (graph.num_nodes + 1), name="bfs.row_offsets")
+        col_dev = gpu.allocate(4 * max(graph.num_edges, 1), name="bfs.col_indices")
+        levels_dev = gpu.allocate(4 * graph.num_nodes, name="bfs.levels")
+        changed_dev = gpu.allocate(4, name="bfs.changed")
+        gpu.global_memory.store_array(row_dev, graph.row_offsets.astype(np.float64))
+        gpu.global_memory.store_array(col_dev, graph.col_indices.astype(np.float64))
+        levels_host = np.full(graph.num_nodes, UNVISITED)
+        levels_host[self.source] = 0.0
+        gpu.global_memory.store_array(levels_dev, levels_host)
+        self._addresses = {
+            "row_offsets": row_dev,
+            "col_indices": col_dev,
+            "levels": levels_dev,
+            "changed": changed_dev,
+        }
+        grid_dim = -(-graph.num_nodes // self.block_dim)
+        return LaunchSpec(
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            params={
+                "n": graph.num_nodes,
+                "level": 0,
+                "row_offsets": row_dev,
+                "col_indices": col_dev,
+                "levels": levels_dev,
+                "changed": changed_dev,
+            },
+        )
+
+    def run(self, gpu: GPU, max_levels: int = None) -> List[KernelResult]:
+        """Iterate BFS steps until no node changes level."""
+        spec = self.prepare(gpu)
+        limit = max_levels if max_levels is not None else self.graph.num_nodes
+        results: List[KernelResult] = []
+        changed_dev = self._addresses["changed"]
+        level = 0
+        while level < limit:
+            gpu.global_memory.write_word(changed_dev, 0.0)
+            params = dict(spec.params)
+            params["level"] = level
+            results.append(
+                gpu.launch(self.program, grid_dim=spec.grid_dim,
+                           block_dim=spec.block_dim, params=params)
+            )
+            level += 1
+            if gpu.global_memory.read_word(changed_dev) == 0.0:
+                break
+        self.levels_run = level
+        return results
+
+    def device_levels(self, gpu: GPU) -> np.ndarray:
+        """Levels array as currently stored in device memory."""
+        return gpu.global_memory.load_array(
+            self._addresses["levels"], self.graph.num_nodes
+        )
+
+    def verify(self, gpu: GPU) -> bool:
+        expected = reference_bfs(self.graph, self.source)
+        produced = self.device_levels(gpu)
+        return bool(np.array_equal(produced.astype(np.int64), expected))

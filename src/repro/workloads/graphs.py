@@ -1,0 +1,117 @@
+"""Graph generation and host-side reference BFS.
+
+The dynamic latency analysis of the paper uses a breadth-first-search
+kernel as its example workload; this module provides the random graphs it
+traverses (in CSR form) and a host reference implementation used to verify
+the device results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class CSRGraph:
+    """A directed graph in compressed-sparse-row form."""
+
+    row_offsets: np.ndarray
+    col_indices: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.row_offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return len(self.col_indices)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Destination nodes of all edges leaving ``node``."""
+        start = int(self.row_offsets[node])
+        end = int(self.row_offsets[node + 1])
+        return self.col_indices[start:end]
+
+    def degree(self, node: int) -> int:
+        """Out-degree of ``node``."""
+        return int(self.row_offsets[node + 1] - self.row_offsets[node])
+
+
+def random_graph(num_nodes: int, avg_degree: int = 8,
+                 seed: int = 11, connected: bool = True) -> CSRGraph:
+    """Generate a random directed graph in CSR form.
+
+    Each node receives ``avg_degree`` edges to uniformly random targets.
+    When ``connected`` is set (the default), a random tree edge from a
+    lower-numbered node is added for every node so that every node is
+    reachable from node 0, keeping BFS traversals deep enough to be
+    interesting.
+    """
+    if num_nodes < 1:
+        raise ValueError("graph needs at least one node")
+    if avg_degree < 0:
+        raise ValueError("avg_degree must be >= 0")
+    rng = np.random.default_rng(seed)
+    adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+    for node in range(num_nodes):
+        targets = rng.integers(0, num_nodes, avg_degree)
+        adjacency[node].extend(int(t) for t in targets)
+    if connected:
+        for node in range(1, num_nodes):
+            parent = int(rng.integers(0, node))
+            adjacency[parent].append(node)
+    row_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+    for node in range(num_nodes):
+        row_offsets[node + 1] = row_offsets[node] + len(adjacency[node])
+    col_indices = np.zeros(int(row_offsets[-1]), dtype=np.int64)
+    for node in range(num_nodes):
+        start = int(row_offsets[node])
+        col_indices[start:start + len(adjacency[node])] = adjacency[node]
+    return CSRGraph(row_offsets=row_offsets, col_indices=col_indices)
+
+
+def grid_graph(side: int) -> CSRGraph:
+    """A 2-D 4-neighbour grid graph (``side`` x ``side`` nodes)."""
+    if side < 1:
+        raise ValueError("side must be >= 1")
+    num_nodes = side * side
+    adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+    for row in range(side):
+        for col in range(side):
+            node = row * side + col
+            if row > 0:
+                adjacency[node].append(node - side)
+            if row < side - 1:
+                adjacency[node].append(node + side)
+            if col > 0:
+                adjacency[node].append(node - 1)
+            if col < side - 1:
+                adjacency[node].append(node + 1)
+    row_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+    for node in range(num_nodes):
+        row_offsets[node + 1] = row_offsets[node] + len(adjacency[node])
+    col_indices = np.concatenate([np.array(a, dtype=np.int64) if a else
+                                  np.zeros(0, dtype=np.int64)
+                                  for a in adjacency])
+    return CSRGraph(row_offsets=row_offsets, col_indices=col_indices)
+
+
+def reference_bfs(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    """Host BFS levels (-1 for unreachable nodes), used for verification."""
+    levels = np.full(graph.num_nodes, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        next_level = levels[node] + 1
+        for neighbor in graph.neighbors(node):
+            if levels[neighbor] == -1:
+                levels[neighbor] = next_level
+                frontier.append(int(neighbor))
+    return levels

@@ -1,0 +1,94 @@
+"""Dense matrix multiplication (naive, one thread per output element).
+
+Matmul is the compute-heavy counterpoint to BFS/SpMV: its loads are
+regular and heavily reused, so far more of its memory latency is hidden —
+useful as a contrast workload in the dynamic latency analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.gpu import GPU
+from repro.isa.builder import KernelBuilder
+from repro.isa.program import Program
+from repro.workloads.base import LaunchSpec, Workload
+
+
+def build_matmul_kernel() -> Program:
+    """``C[i, j] = sum_k A[i, k] * B[k, j]`` for square ``n x n`` matrices."""
+    builder = KernelBuilder("matmul_naive")
+    index = builder.reg()
+    row = builder.reg()
+    col = builder.reg()
+    k = builder.reg()
+    a_value = builder.reg()
+    b_value = builder.reg()
+    accumulator = builder.reg()
+    address = builder.reg()
+    limit = builder.reg()
+    out_of_bounds = builder.pred()
+    n = builder.param("n")
+    a = builder.param("a")
+    b = builder.param("b")
+    c = builder.param("c")
+
+    builder.mov(index, builder.gtid)
+    builder.imul(limit, n, n)
+    builder.setp(out_of_bounds, "ge", index, limit)
+    with builder.if_(out_of_bounds, negate=True):
+        builder.idiv(row, index, n)
+        builder.irem(col, index, n)
+        builder.mov(accumulator, 0)
+        with builder.for_range(k, 0, n):
+            builder.imad(address, row, n, k)
+            builder.imad(address, address, 4, a)
+            builder.ld_global(a_value, address)
+            builder.imad(address, k, n, col)
+            builder.imad(address, address, 4, b)
+            builder.ld_global(b_value, address)
+            builder.ffma(accumulator, a_value, b_value, accumulator)
+        builder.imad(address, index, 4, c)
+        builder.st_global(address, accumulator)
+    return builder.build()
+
+
+class MatMulWorkload(Workload):
+    """Naive dense matmul of two random ``n x n`` matrices."""
+
+    name = "matmul"
+
+    def __init__(self, n: int = 48, block_dim: int = 128, seed: int = 23) -> None:
+        super().__init__()
+        self.n = n
+        self.block_dim = block_dim
+        self.seed = seed
+        self._addresses = {}
+        self._expected = np.zeros((0, 0))
+
+    def build_program(self) -> Program:
+        return build_matmul_kernel()
+
+    def prepare(self, gpu: GPU) -> LaunchSpec:
+        rng = np.random.default_rng(self.seed)
+        a_host = rng.integers(0, 8, (self.n, self.n)).astype(np.float64)
+        b_host = rng.integers(0, 8, (self.n, self.n)).astype(np.float64)
+        self._expected = a_host @ b_host
+        elements = self.n * self.n
+        a_dev = gpu.allocate(4 * elements, name="matmul.a")
+        b_dev = gpu.allocate(4 * elements, name="matmul.b")
+        c_dev = gpu.allocate(4 * elements, name="matmul.c")
+        gpu.global_memory.store_array(a_dev, a_host.ravel())
+        gpu.global_memory.store_array(b_dev, b_host.ravel())
+        self._addresses = {"c": c_dev}
+        grid_dim = -(-elements // self.block_dim)
+        return LaunchSpec(
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            params={"n": self.n, "a": a_dev, "b": b_dev, "c": c_dev},
+        )
+
+    def verify(self, gpu: GPU) -> bool:
+        elements = self.n * self.n
+        produced = gpu.global_memory.load_array(self._addresses["c"], elements)
+        return bool(np.allclose(produced.reshape(self.n, self.n), self._expected))

@@ -1,0 +1,172 @@
+"""Pointer-chasing microbenchmark kernels (the paper's Section II method).
+
+A single thread repeatedly loads the next pointer from the location the
+previous load returned, producing a strictly serialised chain of memory
+accesses whose average latency exposes the unloaded latency of whichever
+memory-hierarchy level the chain's footprint fits into.
+
+Two kernels are provided:
+
+* a *global-space* chase, used for the Tesla/Fermi/Maxwell measurements and
+  for Kepler's L2/DRAM measurements, and
+* a *local-space* chase, which first writes its chain into thread-private
+  local memory and then chases it — required to measure Kepler's L1 because
+  on that generation the L1 serves only local accesses (Table I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.gpu import GPU
+from repro.isa.builder import KernelBuilder
+from repro.isa.program import Program
+from repro.memory.globalmem import WORD_SIZE
+from repro.utils.errors import ConfigurationError
+from repro.workloads.base import LaunchSpec, Workload
+
+#: Default number of chained loads emitted per loop iteration.  Unrolling
+#: amortises the loop-control overhead so that the measured per-access time
+#: is dominated by the memory latency, exactly as in Wong et al.'s suite.
+DEFAULT_UNROLL = 8
+
+
+def build_global_chase_kernel(unroll: int = DEFAULT_UNROLL) -> Program:
+    """Kernel chasing pointers through global memory.
+
+    Parameters: ``start`` (byte address of the first chain element),
+    ``n_accesses`` (chain loads to perform, rounded up to the unroll
+    factor), ``sink`` (byte address receiving the final pointer so the
+    chain cannot be optimised away and correctness can be checked).
+    """
+    if unroll < 1:
+        raise ConfigurationError("unroll must be >= 1")
+    builder = KernelBuilder("pointer_chase_global")
+    pointer = builder.reg()
+    count = builder.reg()
+    done = builder.pred()
+    builder.mov(pointer, builder.param("start"))
+    builder.mov(count, 0)
+    with builder.while_loop() as loop:
+        builder.setp(done, "ge", count, builder.param("n_accesses"))
+        loop.break_if(done)
+        for _ in range(unroll):
+            builder.ld_global(pointer, pointer)
+        builder.iadd(count, count, unroll)
+    builder.st_global(builder.param("sink"), pointer)
+    return builder.build()
+
+
+def build_local_chase_kernel(footprint_bytes: int,
+                             unroll: int = DEFAULT_UNROLL) -> Program:
+    """Kernel that builds and then chases a chain in local memory.
+
+    The chain is written by the kernel itself (local memory has no host
+    visibility), then chased ``n_accesses`` times.  Parameters: ``stride``
+    (bytes between consecutive chain elements), ``n_elements`` (chain
+    length), ``n_accesses``, ``sink``.
+    """
+    if unroll < 1:
+        raise ConfigurationError("unroll must be >= 1")
+    if footprint_bytes < WORD_SIZE:
+        raise ConfigurationError("footprint must hold at least one element")
+    builder = KernelBuilder("pointer_chase_local")
+    builder.local_alloc(footprint_bytes)
+    offset = builder.reg()
+    next_offset = builder.reg()
+    element = builder.reg()
+    count = builder.reg()
+    wrap = builder.pred()
+    done = builder.pred()
+    stride = builder.param("stride")
+    n_elements = builder.param("n_elements")
+    # Phase 1: write the chain (element i holds the byte offset of i + 1).
+    with builder.for_range(element, 0, n_elements) as _:
+        builder.imul(offset, element, stride)
+        builder.iadd(next_offset, element, 1)
+        builder.setp(wrap, "ge", next_offset, n_elements)
+        builder.imul(next_offset, next_offset, stride)
+        builder.sel(next_offset, wrap, 0, next_offset)
+        builder.st_local(offset, next_offset)
+    # Phase 2: chase it.
+    builder.mov(offset, 0)
+    builder.mov(count, 0)
+    with builder.while_loop() as loop:
+        builder.setp(done, "ge", count, builder.param("n_accesses"))
+        loop.break_if(done)
+        for _ in range(unroll):
+            builder.ld_local(offset, offset)
+        builder.iadd(count, count, unroll)
+    builder.st_global(builder.param("sink"), offset)
+    return builder.build()
+
+
+def setup_pointer_chain(gpu: GPU, footprint_bytes: int,
+                        stride_bytes: int) -> tuple:
+    """Allocate and initialise a cyclic pointer chain in global memory.
+
+    Element ``i`` lives at byte offset ``i * stride_bytes`` and stores the
+    absolute byte address of element ``(i + 1) % n`` — a sequential,
+    strided traversal of ``footprint_bytes`` of memory, as used by the
+    paper's static latency analysis.
+
+    Returns ``(base_address, num_elements)``.
+    """
+    if stride_bytes < WORD_SIZE or stride_bytes % WORD_SIZE:
+        raise ConfigurationError("stride must be a positive multiple of 4 bytes")
+    if footprint_bytes < stride_bytes:
+        raise ConfigurationError("footprint must be at least one stride")
+    num_elements = footprint_bytes // stride_bytes
+    base = gpu.allocate(footprint_bytes)
+    words = np.zeros(footprint_bytes // WORD_SIZE, dtype=np.float64)
+    for index in range(num_elements):
+        next_index = (index + 1) % num_elements
+        words[index * stride_bytes // WORD_SIZE] = base + next_index * stride_bytes
+    gpu.global_memory.store_array(base, words)
+    return base, num_elements
+
+
+class PointerChaseWorkload(Workload):
+    """Single-thread global-memory pointer chase as a standard workload."""
+
+    name = "pointer_chase"
+
+    def __init__(self, footprint_bytes: int = 8 * 1024,
+                 stride_bytes: int = 128, n_accesses: int = 256,
+                 unroll: int = DEFAULT_UNROLL) -> None:
+        super().__init__()
+        self.footprint_bytes = footprint_bytes
+        self.stride_bytes = stride_bytes
+        self.n_accesses = n_accesses
+        self.unroll = unroll
+        self._base = 0
+        self._num_elements = 0
+        self._sink = 0
+
+    def build_program(self) -> Program:
+        return build_global_chase_kernel(self.unroll)
+
+    def prepare(self, gpu: GPU) -> LaunchSpec:
+        self._base, self._num_elements = setup_pointer_chain(
+            gpu, self.footprint_bytes, self.stride_bytes
+        )
+        self._sink = gpu.allocate(WORD_SIZE, name="chase.sink")
+        return LaunchSpec(
+            grid_dim=1,
+            block_dim=1,
+            params={
+                "start": self._base,
+                "n_accesses": self.n_accesses,
+                "sink": self._sink,
+            },
+        )
+
+    def expected_final_pointer(self) -> int:
+        """Address the chase should end at after ``n_accesses`` rounds."""
+        rounded = -(-self.n_accesses // self.unroll) * self.unroll
+        final_index = rounded % self._num_elements
+        return self._base + final_index * self.stride_bytes
+
+    def verify(self, gpu: GPU) -> bool:
+        final = int(gpu.global_memory.read_word(self._sink))
+        return final == self.expected_final_pointer()

@@ -1,0 +1,118 @@
+"""Sparse matrix-vector multiplication (CSR, one thread per row).
+
+SpMV shares BFS's irregular, data-dependent gather of the input vector
+(``x[col[e]]``) and is one of the "other workloads" the paper mentions as
+showing the same queueing/arbitration-dominated latency breakdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.gpu import GPU
+from repro.isa.builder import KernelBuilder
+from repro.isa.program import Program
+from repro.workloads.base import LaunchSpec, Workload
+
+
+def build_spmv_kernel() -> Program:
+    """``y[row] = sum_e values[e] * x[col_indices[e]]`` over the row's edges."""
+    builder = KernelBuilder("spmv_csr")
+    row = builder.reg()
+    accumulator = builder.reg()
+    edge_start = builder.reg()
+    edge_end = builder.reg()
+    edge = builder.reg()
+    column = builder.reg()
+    value = builder.reg()
+    x_value = builder.reg()
+    address = builder.reg()
+    out_of_bounds = builder.pred()
+    n = builder.param("num_rows")
+    row_offsets = builder.param("row_offsets")
+    col_indices = builder.param("col_indices")
+    values = builder.param("values")
+    x = builder.param("x")
+    y = builder.param("y")
+
+    builder.mov(row, builder.gtid)
+    builder.setp(out_of_bounds, "ge", row, n)
+    with builder.if_(out_of_bounds, negate=True):
+        builder.mov(accumulator, 0)
+        builder.imad(address, row, 4, row_offsets)
+        builder.ld_global(edge_start, address)
+        builder.ld_global(edge_end, address, offset=4)
+        with builder.for_range(edge, edge_start, edge_end):
+            builder.imad(address, edge, 4, col_indices)
+            builder.ld_global(column, address)
+            builder.imad(address, edge, 4, values)
+            builder.ld_global(value, address)
+            builder.imad(address, column, 4, x)
+            builder.ld_global(x_value, address)
+            builder.ffma(accumulator, value, x_value, accumulator)
+        builder.imad(address, row, 4, y)
+        builder.st_global(address, accumulator)
+    return builder.build()
+
+
+class SpMVWorkload(Workload):
+    """CSR SpMV over a random sparse matrix."""
+
+    name = "spmv"
+
+    def __init__(self, num_rows: int = 1024, nnz_per_row: int = 12,
+                 block_dim: int = 128, seed: int = 17) -> None:
+        super().__init__()
+        self.num_rows = num_rows
+        self.nnz_per_row = nnz_per_row
+        self.block_dim = block_dim
+        self.seed = seed
+        self._addresses = {}
+        self._expected = np.zeros(0)
+
+    def build_program(self) -> Program:
+        return build_spmv_kernel()
+
+    def _generate(self):
+        rng = np.random.default_rng(self.seed)
+        row_offsets = np.arange(self.num_rows + 1, dtype=np.int64) * self.nnz_per_row
+        nnz = int(row_offsets[-1])
+        col_indices = rng.integers(0, self.num_rows, nnz).astype(np.int64)
+        values = rng.integers(1, 10, nnz).astype(np.float64)
+        x = rng.integers(1, 10, self.num_rows).astype(np.float64)
+        return row_offsets, col_indices, values, x
+
+    def prepare(self, gpu: GPU) -> LaunchSpec:
+        row_offsets, col_indices, values, x = self._generate()
+        expected = np.zeros(self.num_rows)
+        for row in range(self.num_rows):
+            start, end = int(row_offsets[row]), int(row_offsets[row + 1])
+            expected[row] = np.dot(values[start:end], x[col_indices[start:end]])
+        self._expected = expected
+        row_dev = gpu.allocate(4 * len(row_offsets), name="spmv.row_offsets")
+        col_dev = gpu.allocate(4 * len(col_indices), name="spmv.col_indices")
+        val_dev = gpu.allocate(4 * len(values), name="spmv.values")
+        x_dev = gpu.allocate(4 * self.num_rows, name="spmv.x")
+        y_dev = gpu.allocate(4 * self.num_rows, name="spmv.y")
+        gpu.global_memory.store_array(row_dev, row_offsets.astype(np.float64))
+        gpu.global_memory.store_array(col_dev, col_indices.astype(np.float64))
+        gpu.global_memory.store_array(val_dev, values)
+        gpu.global_memory.store_array(x_dev, x)
+        self._addresses = {"y": y_dev}
+        grid_dim = -(-self.num_rows // self.block_dim)
+        return LaunchSpec(
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            params={
+                "num_rows": self.num_rows,
+                "row_offsets": row_dev,
+                "col_indices": col_dev,
+                "values": val_dev,
+                "x": x_dev,
+                "y": y_dev,
+            },
+        )
+
+    def verify(self, gpu: GPU) -> bool:
+        produced = gpu.global_memory.load_array(self._addresses["y"], self.num_rows)
+        return bool(np.allclose(produced, self._expected))

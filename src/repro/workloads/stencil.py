@@ -1,0 +1,85 @@
+"""1-D three-point stencil: regular neighbour accesses with high locality."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.gpu import GPU
+from repro.isa.builder import KernelBuilder
+from repro.isa.program import Program
+from repro.workloads.base import LaunchSpec, Workload
+
+
+def build_stencil_kernel() -> Program:
+    """``out[i] = in[max(i-1,0)] + in[i] + in[min(i+1,n-1)]``."""
+    builder = KernelBuilder("stencil3")
+    index = builder.reg()
+    left = builder.reg()
+    right = builder.reg()
+    value_left = builder.reg()
+    value_center = builder.reg()
+    value_right = builder.reg()
+    address = builder.reg()
+    last = builder.reg()
+    out_of_bounds = builder.pred()
+    n = builder.param("n")
+    input_base = builder.param("input")
+    output_base = builder.param("output")
+
+    builder.mov(index, builder.gtid)
+    builder.setp(out_of_bounds, "ge", index, n)
+    with builder.if_(out_of_bounds, negate=True):
+        builder.isub(last, n, 1)
+        builder.isub(left, index, 1)
+        builder.imax(left, left, 0)
+        builder.iadd(right, index, 1)
+        builder.imin(right, right, last)
+        builder.imad(address, left, 4, input_base)
+        builder.ld_global(value_left, address)
+        builder.imad(address, index, 4, input_base)
+        builder.ld_global(value_center, address)
+        builder.imad(address, right, 4, input_base)
+        builder.ld_global(value_right, address)
+        builder.fadd(value_center, value_center, value_left)
+        builder.fadd(value_center, value_center, value_right)
+        builder.imad(address, index, 4, output_base)
+        builder.st_global(address, value_center)
+    return builder.build()
+
+
+class StencilWorkload(Workload):
+    """Three-point stencil over a random 1-D array."""
+
+    name = "stencil"
+
+    def __init__(self, n: int = 4096, block_dim: int = 128, seed: int = 31) -> None:
+        super().__init__()
+        self.n = n
+        self.block_dim = block_dim
+        self.seed = seed
+        self._addresses = {}
+        self._expected = np.zeros(0)
+
+    def build_program(self) -> Program:
+        return build_stencil_kernel()
+
+    def prepare(self, gpu: GPU) -> LaunchSpec:
+        rng = np.random.default_rng(self.seed)
+        data = rng.integers(0, 100, self.n).astype(np.float64)
+        left = np.concatenate(([data[0]], data[:-1]))
+        right = np.concatenate((data[1:], [data[-1]]))
+        self._expected = data + left + right
+        input_dev = gpu.allocate(4 * self.n, name="stencil.input")
+        output_dev = gpu.allocate(4 * self.n, name="stencil.output")
+        gpu.global_memory.store_array(input_dev, data)
+        self._addresses = {"output": output_dev}
+        grid_dim = -(-self.n // self.block_dim)
+        return LaunchSpec(
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            params={"n": self.n, "input": input_dev, "output": output_dev},
+        )
+
+    def verify(self, gpu: GPU) -> bool:
+        produced = gpu.global_memory.load_array(self._addresses["output"], self.n)
+        return bool(np.allclose(produced, self._expected))

@@ -1,0 +1,75 @@
+"""Vector addition: the canonical streaming (bandwidth-bound) workload."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.gpu import GPU
+from repro.isa.builder import KernelBuilder
+from repro.isa.program import Program
+from repro.workloads.base import LaunchSpec, Workload
+
+
+def build_vecadd_kernel() -> Program:
+    """``c[i] = a[i] + b[i]`` with a bounds guard."""
+    builder = KernelBuilder("vecadd")
+    index = builder.reg()
+    value_a = builder.reg()
+    value_b = builder.reg()
+    value_c = builder.reg()
+    addr_a = builder.reg()
+    addr_b = builder.reg()
+    addr_c = builder.reg()
+    out_of_bounds = builder.pred()
+    n = builder.param("n")
+    builder.mov(index, builder.gtid)
+    builder.setp(out_of_bounds, "ge", index, n)
+    with builder.if_(out_of_bounds, negate=True):
+        builder.imad(addr_a, index, 4, builder.param("a"))
+        builder.imad(addr_b, index, 4, builder.param("b"))
+        builder.imad(addr_c, index, 4, builder.param("c"))
+        builder.ld_global(value_a, addr_a)
+        builder.ld_global(value_b, addr_b)
+        builder.fadd(value_c, value_a, value_b)
+        builder.st_global(addr_c, value_c)
+    return builder.build()
+
+
+class VecAddWorkload(Workload):
+    """Element-wise vector addition over ``n`` elements."""
+
+    name = "vecadd"
+
+    def __init__(self, n: int = 4096, block_dim: int = 128,
+                 seed: int = 7) -> None:
+        super().__init__()
+        self.n = n
+        self.block_dim = block_dim
+        self.seed = seed
+        self._addresses = {}
+        self._expected: np.ndarray = np.zeros(0)
+
+    def build_program(self) -> Program:
+        return build_vecadd_kernel()
+
+    def prepare(self, gpu: GPU) -> LaunchSpec:
+        rng = np.random.default_rng(self.seed)
+        a_host = rng.integers(0, 1000, self.n).astype(np.float64)
+        b_host = rng.integers(0, 1000, self.n).astype(np.float64)
+        self._expected = a_host + b_host
+        a_dev = gpu.allocate(4 * self.n, name="vecadd.a")
+        b_dev = gpu.allocate(4 * self.n, name="vecadd.b")
+        c_dev = gpu.allocate(4 * self.n, name="vecadd.c")
+        gpu.global_memory.store_array(a_dev, a_host)
+        gpu.global_memory.store_array(b_dev, b_host)
+        self._addresses = {"a": a_dev, "b": b_dev, "c": c_dev}
+        grid_dim = -(-self.n // self.block_dim)
+        return LaunchSpec(
+            grid_dim=grid_dim,
+            block_dim=self.block_dim,
+            params={"n": self.n, "a": a_dev, "b": b_dev, "c": c_dev},
+        )
+
+    def verify(self, gpu: GPU) -> bool:
+        produced = gpu.global_memory.load_array(self._addresses["c"], self.n)
+        return bool(np.allclose(produced, self._expected))

@@ -1,0 +1,68 @@
+"""Tests for the plain-text reporting helpers."""
+
+from repro.analysis import (
+    STAGE_GLYPHS,
+    breakdown_chart,
+    comparison_table,
+    exposure_chart,
+    format_table,
+    stacked_bar,
+)
+from repro.core.breakdown import compute_breakdown
+from repro.core.exposure import compute_exposure
+from repro.core.stages import STAGE_ORDER, Stage
+from repro.core.tracker import LatencyTracker
+from tests.test_core_breakdown_exposure import make_record
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[-1]
+        assert len(lines) == 4
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_comparison_table_orders_columns(self):
+        rows = [{"name": "a", "value": 1, "extra": "ignored"}]
+        text = comparison_table("t", rows, ["value", "name"])
+        header = text.splitlines()[1]
+        assert header.index("value") < header.index("name")
+
+
+class TestCharts:
+    def test_stage_glyphs_unique(self):
+        glyphs = list(STAGE_GLYPHS.values())
+        assert len(glyphs) == len(set(glyphs)) == len(STAGE_ORDER)
+
+    def test_stacked_bar_width(self):
+        percentages = {stage: 0.0 for stage in Stage}
+        percentages[Stage.SM_BASE] = 50.0
+        percentages[Stage.FETCH_TO_SM] = 50.0
+        bar = stacked_bar(percentages, width=40)
+        assert len(bar) == 40
+        assert bar.count(STAGE_GLYPHS[Stage.SM_BASE]) == 20
+
+    def test_breakdown_chart_contains_buckets_and_legend(self):
+        records = [make_record(100) for _ in range(4)] + [make_record(900)]
+        result = compute_breakdown(records, num_buckets=4)
+        chart = breakdown_chart(result, width=30)
+        assert "legend" in chart
+        assert "n=4" in chart
+        assert "n=1" in chart
+
+    def test_exposure_chart_marks_exposed_share(self):
+        tracker = LatencyTracker()
+        tracker.record_load(0, 0, 0, "global", 0, 100, 1, False)
+        result = compute_exposure(tracker, num_buckets=2)
+        chart = exposure_chart(result, width=20)
+        assert "exposed=100.0%" in chart
+        assert "#" * 20 in chart

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("configs", "workloads", "table1", "sweep", "dynamic"):
+            args = parser.parse_args([command] if command in
+                                     ("configs", "workloads") else [command])
+            assert args.command == command
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--config", "gtx9000"])
+
+
+class TestCommands:
+    def test_configs_lists_all_presets(self, capsys):
+        assert main(["configs"]) == 0
+        output = capsys.readouterr().out
+        for name in ("gt200", "gf106", "gf100", "gk104", "gm107"):
+            assert name in output
+
+    def test_workloads_lists_bfs(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        assert "bfs" in output
+        assert "pointer_chase" in output
+
+    def test_table1_single_generation(self, capsys):
+        assert main(["table1", "--configs", "gt200", "--accesses", "64"]) == 0
+        output = capsys.readouterr().out
+        assert "Tesla" in output
+        assert "DRAM" in output
+        assert "440" in output
+
+    def test_sweep_with_explicit_footprints(self, capsys):
+        assert main([
+            "sweep", "--config", "gt200", "--accesses", "64",
+            "--footprints", "4096", "16384",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "cycles / access" in output
+        assert "detected 1 level(s)" in output
+
+    def test_dynamic_bfs_small(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "bfs",
+            "--nodes", "256", "--degree", "4", "--buckets", "8",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "Figure 2" in output
+        assert "exposed fraction" in output
+
+    def test_dynamic_vecadd(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--buckets", "8",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "vecadd" in output

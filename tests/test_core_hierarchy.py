@@ -1,0 +1,126 @@
+"""Tests for plateau detection and memory-hierarchy inference."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hierarchy import (
+    HierarchyEstimate,
+    detect_plateaus,
+    expected_level_count,
+    infer_hierarchy,
+)
+from repro.core.pointer_chase import ChaseMeasurement, LatencySurface
+from repro.utils.errors import ConfigurationError
+
+
+def surface_from_curve(points, stride=128, config="synthetic"):
+    measurements = [
+        ChaseMeasurement(config_name=config, space="global",
+                         footprint_bytes=footprint, stride_bytes=stride,
+                         measured_accesses=100, cycles_per_access=latency,
+                         baseline_cycles=0, measured_cycles=0)
+        for footprint, latency in points
+    ]
+    return LatencySurface(config_name=config, space="global",
+                          measurements=measurements)
+
+
+THREE_LEVEL_CURVE = [
+    (1024, 45.0), (2048, 45.3), (4096, 44.8), (8192, 45.1),
+    (16384, 310.0), (32768, 309.5), (65536, 311.0),
+    (131072, 684.0), (262144, 686.0),
+]
+
+
+class TestPlateauDetection:
+    def test_empty_curve(self):
+        assert detect_plateaus([]) == []
+
+    def test_flat_curve_is_single_plateau(self):
+        points = [(1 << i, 100.0 + (i % 3)) for i in range(10, 18)]
+        assert len(detect_plateaus(points)) == 1
+
+    def test_three_level_curve(self):
+        plateaus = detect_plateaus(THREE_LEVEL_CURVE)
+        assert len(plateaus) == 3
+        assert [len(p) for p in plateaus] == [4, 3, 2]
+
+    def test_small_noise_does_not_split(self):
+        points = [(1024, 100.0), (2048, 104.0), (4096, 97.0), (8192, 102.0)]
+        assert len(detect_plateaus(points)) == 1
+
+    def test_threshold_parameters_respected(self):
+        points = [(1024, 100.0), (2048, 130.0)]
+        assert len(detect_plateaus(points, relative_step=0.5,
+                                   absolute_step=50)) == 1
+        assert len(detect_plateaus(points, relative_step=0.1,
+                                   absolute_step=5)) == 2
+
+    @given(st.lists(st.floats(min_value=10, max_value=20), min_size=1,
+                    max_size=20))
+    @settings(max_examples=30)
+    def test_points_conserved(self, latencies):
+        points = [((i + 1) * 1024, latency) for i, latency in enumerate(latencies)]
+        plateaus = detect_plateaus(points)
+        assert sum(len(p) for p in plateaus) == len(points)
+
+
+class TestHierarchyInference:
+    def test_three_levels_detected_with_capacities(self):
+        surface = surface_from_curve(THREE_LEVEL_CURVE)
+        estimate = infer_hierarchy(surface, stride_bytes=128)
+        assert estimate.num_levels == 3
+        assert estimate.latencies() == pytest.approx([45.05, 310.17, 685.0],
+                                                     abs=1.0)
+        assert estimate.levels[0].capacity_estimate == 8192
+        assert estimate.levels[1].capacity_estimate == 65536
+
+    def test_single_level_for_uncached_hierarchy(self):
+        curve = [(1 << i, 440.0) for i in range(10, 19)]
+        estimate = infer_hierarchy(surface_from_curve(curve), stride_bytes=128)
+        assert estimate.num_levels == 1
+
+    def test_default_stride_is_largest(self):
+        measurements = (
+            surface_from_curve(THREE_LEVEL_CURVE, stride=64).measurements
+            + surface_from_curve(THREE_LEVEL_CURVE, stride=256).measurements
+        )
+        surface = LatencySurface("synthetic", "global", measurements)
+        estimate = infer_hierarchy(surface)
+        assert estimate.stride_bytes == 256
+
+    def test_unknown_stride_rejected(self):
+        surface = surface_from_curve(THREE_LEVEL_CURVE)
+        with pytest.raises(ConfigurationError):
+            infer_hierarchy(surface, stride_bytes=999)
+
+    def test_empty_surface_rejected(self):
+        with pytest.raises(ConfigurationError):
+            infer_hierarchy(LatencySurface("x", "global", []))
+
+    def test_describe_mentions_levels(self):
+        estimate = infer_hierarchy(surface_from_curve(THREE_LEVEL_CURVE))
+        text = estimate.describe()
+        assert "3 level(s)" in text
+        assert "capacity" in text
+
+    def test_expected_level_count(self):
+        assert expected_level_count(True, True) == 3
+        assert expected_level_count(False, True) == 2
+        assert expected_level_count(False, False) == 1
+
+
+class TestLatencySurfaceAccessors:
+    def test_grid_accessors(self):
+        surface = surface_from_curve(THREE_LEVEL_CURVE)
+        assert surface.footprints()[0] == 1024
+        assert surface.strides() == [128]
+        assert surface.latency(1024, 128) == 45.0
+        with pytest.raises(KeyError):
+            surface.latency(999, 128)
+
+    def test_curve_sorted_by_footprint(self):
+        surface = surface_from_curve(list(reversed(THREE_LEVEL_CURVE)))
+        curve = surface.curve(128)
+        footprints = [footprint for footprint, _ in curve]
+        assert footprints == sorted(footprints)

@@ -1,0 +1,154 @@
+"""Integration tests for the static latency analysis (Section II / Table I).
+
+These run the pointer-chase measurement through the full simulator, so they
+are the slowest tests in the suite; problem sizes are kept small.
+"""
+
+import pytest
+
+from repro.core.calibrate import calibrate_config, calibration_report
+from repro.core.hierarchy import expected_level_count, infer_hierarchy
+from repro.core.pointer_chase import (
+    default_footprints,
+    measure_chase_latency,
+    regime_footprints,
+    sweep_chase_latency,
+)
+from repro.core.static import measure_generation, reproduce_table_i
+from repro.gpu import get_config
+from repro.gpu.configs import TABLE_I_TARGETS
+from repro.utils.errors import ConfigurationError
+
+#: Accesses per measurement in tests (smaller than the benchmark default).
+FAST_ACCESSES = 128
+
+
+class TestChaseMeasurement:
+    def test_l1_regime_measures_l1_latency(self):
+        config = get_config("gf106")
+        measurement = measure_chase_latency(config, footprint_bytes=4 * 1024,
+                                            stride_bytes=128,
+                                            measure_accesses=FAST_ACCESSES)
+        assert measurement.cycles_per_access == pytest.approx(45, rel=0.08)
+
+    def test_dram_regime_slower_than_l2_regime(self):
+        config = get_config("gf106")
+        regimes = regime_footprints(config)
+        l2 = measure_chase_latency(config, regimes["l2"], 128,
+                                   measure_accesses=FAST_ACCESSES)
+        dram = measure_chase_latency(config, regimes["dram"], 128,
+                                     measure_accesses=FAST_ACCESSES,
+                                     warm_accesses=FAST_ACCESSES)
+        assert dram.cycles_per_access > l2.cycles_per_access > 45
+
+    def test_local_space_chase_runs(self):
+        config = get_config("gk104")
+        measurement = measure_chase_latency(config, footprint_bytes=4 * 1024,
+                                            stride_bytes=128, space="local",
+                                            measure_accesses=FAST_ACCESSES)
+        assert measurement.space == "local"
+        assert measurement.cycles_per_access == pytest.approx(30, rel=0.1)
+
+    def test_invalid_parameters(self):
+        config = get_config("gf106")
+        with pytest.raises(ConfigurationError):
+            measure_chase_latency(config, 1024, 128, space="texture")
+        with pytest.raises(ConfigurationError):
+            measure_chase_latency(config, 64, 128)
+
+    def test_regime_footprints_follow_capacities(self, generation_config):
+        regimes = regime_footprints(generation_config)
+        l1_bytes = generation_config.l1_bytes()
+        l2_bytes = generation_config.total_l2_bytes()
+        if l1_bytes:
+            assert regimes["l1"] < l1_bytes
+        else:
+            assert regimes["l1"] is None
+        if l2_bytes:
+            assert (l1_bytes or 0) < regimes["l2"] < l2_bytes
+            assert regimes["dram"] > l2_bytes
+        assert regimes["dram"] is not None
+
+    def test_default_footprints_span_hierarchy(self, generation_config):
+        footprints = default_footprints(generation_config)
+        assert footprints == sorted(footprints)
+        assert footprints[0] <= 4 * 1024
+        l2_bytes = generation_config.total_l2_bytes()
+        if l2_bytes:
+            assert footprints[-1] >= 2 * l2_bytes
+
+
+class TestTableIReproduction:
+    @pytest.mark.parametrize("name", ["gf106", "gk104", "gm107", "gt200"])
+    def test_generation_matches_paper_targets(self, name):
+        config = get_config(name)
+        generation = measure_generation(config, measure_accesses=FAST_ACCESSES)
+        targets = TABLE_I_TARGETS[name]
+        for level, target in targets.items():
+            measured = generation.measured[level]
+            if target is None:
+                assert measured is None
+            else:
+                assert measured == pytest.approx(target, rel=0.05), (
+                    f"{name} {level}: measured {measured}, paper {target}"
+                )
+                assert generation.relative_error(level) < 0.05
+
+    def test_table_format_contains_all_generations(self):
+        result = reproduce_table_i(config_names=["gt200"],
+                                   measure_accesses=64)
+        text = result.format_table()
+        assert "Tesla" in text
+        assert "DRAM" in text
+        assert "x" in text                     # missing levels marked
+        assert result.row("gt200").paper["dram"] == 440
+        with pytest.raises(KeyError):
+            result.row("gf999")
+
+
+class TestHierarchyInferenceOnSimulator:
+    def test_fermi_shows_three_plateaus(self):
+        config = get_config("gf106")
+        footprints = [4 * 1024, 8 * 1024, 64 * 1024, 96 * 1024,
+                      256 * 1024, 384 * 1024]
+        surface = sweep_chase_latency(config, footprints, [128],
+                                      measure_accesses=96)
+        estimate = infer_hierarchy(surface, stride_bytes=128)
+        assert estimate.num_levels == expected_level_count(True, True)
+        latencies = estimate.latencies()
+        assert latencies[0] == pytest.approx(45, rel=0.1)
+        assert latencies[1] == pytest.approx(310, rel=0.1)
+        assert latencies[2] == pytest.approx(685, rel=0.1)
+
+    def test_tesla_shows_single_plateau(self):
+        config = get_config("gt200")
+        footprints = [4 * 1024, 32 * 1024, 128 * 1024]
+        surface = sweep_chase_latency(config, footprints, [128],
+                                      measure_accesses=96)
+        estimate = infer_hierarchy(surface, stride_bytes=128)
+        assert estimate.num_levels == 1
+        assert estimate.latencies()[0] == pytest.approx(440, rel=0.1)
+
+
+class TestCalibration:
+    def test_calibration_converges_on_detuned_config(self):
+        import dataclasses
+
+        base = get_config("gk104")
+        detuned_l2 = dataclasses.replace(base.partition.l2, hit_latency=40)
+        detuned_dram = dataclasses.replace(base.partition.dram, service_pad=20)
+        partition = dataclasses.replace(base.partition, l2=detuned_l2,
+                                        dram=detuned_dram)
+        detuned = base.replace(partition=partition)
+        result = calibrate_config(detuned, iterations=2,
+                                  measure_accesses=FAST_ACCESSES)
+        assert result.max_relative_error() < 0.05
+        report = calibration_report(result)
+        assert "target 175" in report
+        assert "dram_pad" in report
+
+    def test_calibration_requires_targets_for_unknown_config(self):
+        from tests.conftest import make_fast_config
+
+        with pytest.raises(ConfigurationError):
+            calibrate_config(make_fast_config(name="mystery"))

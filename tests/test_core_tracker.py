@@ -1,0 +1,214 @@
+"""Tests for the latency tracker, lifetime events, and stage classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.stages import EVENT_ORDER, Event, Stage, classify_lifetime
+from repro.core.tracker import LatencyTracker, LoadRecord
+from repro.isa.opcodes import MemSpace
+from repro.memory.request import MemoryRequest
+
+
+def make_request(address=0x1000, is_write=False):
+    return MemoryRequest(address=address, size=128, is_write=is_write,
+                         space=MemSpace.GLOBAL, sm_id=0, warp_id=1, pc=2)
+
+
+class TestClassifyLifetime:
+    def test_l1_hit_is_all_sm_base(self):
+        breakdown = classify_lifetime({
+            Event.ISSUE: 0,
+            Event.L1_ACCESS: 8,
+            Event.COMPLETE: 45,
+        })
+        assert breakdown[Stage.SM_BASE] == 45
+        assert sum(breakdown.values()) == 45
+        assert breakdown[Stage.L1_TO_ICNT] == 0
+
+    def test_l2_hit_path(self):
+        breakdown = classify_lifetime({
+            Event.ISSUE: 0,
+            Event.L1_ACCESS: 8,
+            Event.ICNT_INJECT: 12,
+            Event.ROP_ARRIVE: 32,
+            Event.L2Q_ARRIVE: 90,
+            Event.L2_DATA: 280,
+            Event.COMPLETE: 310,
+        })
+        assert breakdown[Stage.SM_BASE] == 8
+        assert breakdown[Stage.L1_TO_ICNT] == 4
+        assert breakdown[Stage.ICNT_TO_ROP] == 20
+        assert breakdown[Stage.ROP_TO_L2Q] == 58
+        assert breakdown[Stage.L2Q_TO_DRAMQ] == 190
+        assert breakdown[Stage.FETCH_TO_SM] == 30
+        assert breakdown[Stage.DRAM_Q_TO_SCH] == 0
+        assert sum(breakdown.values()) == 310
+
+    def test_dram_path(self):
+        breakdown = classify_lifetime({
+            Event.ISSUE: 0,
+            Event.L1_ACCESS: 10,
+            Event.ICNT_INJECT: 20,
+            Event.ROP_ARRIVE: 40,
+            Event.L2Q_ARRIVE: 100,
+            Event.DRAM_Q_ARRIVE: 120,
+            Event.DRAM_SCHEDULED: 400,
+            Event.DRAM_DATA: 460,
+            Event.COMPLETE: 685,
+        })
+        assert breakdown[Stage.DRAM_Q_TO_SCH] == 280
+        assert breakdown[Stage.DRAM_SCH_TO_A] == 60
+        assert breakdown[Stage.FETCH_TO_SM] == 225
+        assert sum(breakdown.values()) == 685
+
+    def test_requires_issue_and_complete(self):
+        with pytest.raises(ValueError):
+            classify_lifetime({Event.ISSUE: 0})
+        with pytest.raises(ValueError):
+            classify_lifetime({Event.COMPLETE: 10})
+
+    def test_non_monotonic_rejected(self):
+        with pytest.raises(ValueError):
+            classify_lifetime({
+                Event.ISSUE: 10,
+                Event.L1_ACCESS: 5,
+                Event.COMPLETE: 20,
+            })
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=2,
+                    max_size=len(EVENT_ORDER)))
+    def test_breakdown_always_sums_to_latency(self, deltas):
+        # Build a monotonic timestamp dict over a random prefix of events.
+        events = list(EVENT_ORDER[:len(deltas) - 1]) + [Event.COMPLETE]
+        timestamps = {}
+        time = 0
+        for event, delta in zip(events, deltas):
+            time += delta
+            timestamps[event] = time
+        if Event.ISSUE not in timestamps:
+            timestamps[Event.ISSUE] = 0
+        breakdown = classify_lifetime(timestamps)
+        expected = timestamps[Event.COMPLETE] - timestamps[Event.ISSUE]
+        assert sum(breakdown.values()) == expected
+
+
+class TestTrackerRequests:
+    def test_records_completed_reads(self):
+        tracker = LatencyTracker()
+        request = make_request()
+        tracker.record_event(request, Event.ISSUE, 0)
+        tracker.record_event(request, Event.L1_ACCESS, 5)
+        tracker.finish_request(request, 40)
+        assert len(tracker.requests) == 1
+        record = tracker.requests[0]
+        assert record.latency == 40
+        assert record.breakdown()[Stage.SM_BASE] == 40
+
+    def test_writes_excluded_by_default(self):
+        tracker = LatencyTracker()
+        request = make_request(is_write=True)
+        tracker.record_event(request, Event.ISSUE, 0)
+        tracker.finish_request(request, 10)
+        assert tracker.requests == []
+        tracker_with_writes = LatencyTracker(track_writes=True)
+        request = make_request(is_write=True)
+        tracker_with_writes.record_event(request, Event.ISSUE, 0)
+        tracker_with_writes.finish_request(request, 10)
+        assert len(tracker_with_writes.requests) == 1
+
+    def test_untracked_requests_dropped(self):
+        tracker = LatencyTracker()
+        request = make_request()
+        request.tracked = False
+        tracker.record_event(request, Event.ISSUE, 0)
+        tracker.finish_request(request, 10)
+        assert tracker.requests == []
+        assert tracker.dropped_requests == 1
+
+    def test_disabled_tracker_records_nothing(self):
+        tracker = LatencyTracker(enabled=False)
+        request = make_request()
+        tracker.record_event(request, Event.ISSUE, 0)
+        tracker.finish_request(request, 10)
+        tracker.record_load(0, 0, 0, "global", 0, 10, 1, False)
+        tracker.note_issue_cycle(0, 5)
+        assert tracker.requests == []
+        assert tracker.loads == []
+        assert tracker.busy_cycles_in(0, 0, 100) == 0
+
+    def test_space_filtering(self):
+        tracker = LatencyTracker()
+        glob = make_request()
+        tracker.record_event(glob, Event.ISSUE, 0)
+        tracker.finish_request(glob, 5)
+        local = MemoryRequest(address=0, size=128, is_write=False,
+                              space=MemSpace.LOCAL, sm_id=0)
+        tracker.record_event(local, Event.ISSUE, 0)
+        tracker.finish_request(local, 5)
+        assert len(tracker.read_requests()) == 2
+        assert len(tracker.read_requests(space="global")) == 1
+
+    def test_clear(self):
+        tracker = LatencyTracker()
+        request = make_request()
+        tracker.record_event(request, Event.ISSUE, 0)
+        tracker.finish_request(request, 5)
+        tracker.note_issue_cycle(0, 1)
+        tracker.clear()
+        assert not tracker.requests
+        assert tracker.busy_cycles_in(0, 0, 10) == 0
+
+
+class TestExposureAccounting:
+    def test_busy_cycle_counting(self):
+        tracker = LatencyTracker()
+        for cycle in (5, 6, 7, 20):
+            tracker.note_issue_cycle(0, cycle)
+        assert tracker.busy_cycles_in(0, 0, 10) == 3
+        assert tracker.busy_cycles_in(0, 6, 21) == 3
+        assert tracker.busy_cycles_in(0, 8, 20) == 0
+
+    def test_duplicate_issue_cycles_collapse(self):
+        tracker = LatencyTracker()
+        tracker.note_issue_cycle(0, 5)
+        tracker.note_issue_cycle(0, 5)
+        assert tracker.busy_cycles_in(0, 0, 10) == 1
+
+    def test_exposed_cycles_of_load(self):
+        tracker = LatencyTracker()
+        for cycle in range(10, 20):
+            tracker.note_issue_cycle(0, cycle)
+        load = LoadRecord(sm_id=0, warp_id=0, pc=0, space="global",
+                          issue_cycle=0, complete_cycle=40, num_requests=1,
+                          l1_hit=False)
+        # 40 cycles total, 10 of them busy -> 30 exposed.
+        assert tracker.exposed_cycles(load) == 30
+
+    def test_fully_hidden_load(self):
+        tracker = LatencyTracker()
+        for cycle in range(0, 50):
+            tracker.note_issue_cycle(1, cycle)
+        load = LoadRecord(sm_id=1, warp_id=0, pc=0, space="global",
+                          issue_cycle=10, complete_cycle=30, num_requests=1,
+                          l1_hit=True)
+        assert tracker.exposed_cycles(load) == 0
+
+    def test_other_sm_activity_does_not_hide(self):
+        tracker = LatencyTracker()
+        for cycle in range(0, 50):
+            tracker.note_issue_cycle(1, cycle)
+        load = LoadRecord(sm_id=0, warp_id=0, pc=0, space="global",
+                          issue_cycle=0, complete_cycle=20, num_requests=1,
+                          l1_hit=False)
+        assert tracker.exposed_cycles(load) == 20
+
+    def test_summary_aggregates(self):
+        tracker = LatencyTracker()
+        request = make_request()
+        tracker.record_event(request, Event.ISSUE, 0)
+        tracker.finish_request(request, 100)
+        tracker.record_load(0, 0, 0, "global", 0, 100, 1, False)
+        summary = tracker.summary()
+        assert summary["tracked_reads"] == 1
+        assert summary["read_latency_mean"] == 100
+        assert 0 <= summary["exposed_fraction_mean"] <= 1

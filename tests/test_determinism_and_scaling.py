@@ -1,0 +1,99 @@
+"""Cross-cutting invariants: determinism, machine-size scaling, and
+tracker consistency across whole workload runs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.stages import Event
+from repro.gpu import GPU
+from repro.workloads import BFSWorkload, VecAddWorkload
+from tests.conftest import make_fast_config
+
+
+def run_vecadd(config, n=1024):
+    gpu = GPU(config)
+    workload = VecAddWorkload(n=n, block_dim=64)
+    results = workload.run(gpu)
+    assert workload.verify(gpu)
+    return gpu, results
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_timing(self):
+        first_gpu, first = run_vecadd(make_fast_config())
+        second_gpu, second = run_vecadd(make_fast_config())
+        assert [r.cycles for r in first] == [r.cycles for r in second]
+        assert [r.instructions for r in first] == [r.instructions for r in second]
+        first_lat = sorted(r.latency for r in first_gpu.tracker.read_requests())
+        second_lat = sorted(r.latency for r in second_gpu.tracker.read_requests())
+        assert first_lat == second_lat
+
+    def test_bfs_runs_are_deterministic(self):
+        def run():
+            gpu = GPU(make_fast_config())
+            workload = BFSWorkload(num_nodes=256, avg_degree=5, block_dim=64,
+                                   seed=21)
+            results = workload.run(gpu)
+            assert workload.verify(gpu)
+            return sum(r.cycles for r in results), len(gpu.tracker.loads)
+
+        assert run() == run()
+
+
+class TestMachineScaling:
+    def test_more_sms_never_hurt_throughput_bound_kernel(self):
+        small = make_fast_config(num_sms=1)
+        large = make_fast_config(num_sms=4)
+        _, small_results = run_vecadd(small, n=4096)
+        _, large_results = run_vecadd(large, n=4096)
+        assert sum(r.cycles for r in large_results) <= sum(
+            r.cycles for r in small_results
+        )
+
+    def test_single_sm_machine_still_correct(self):
+        config = make_fast_config(num_sms=1)
+        gpu = GPU(config)
+        workload = BFSWorkload(num_nodes=200, avg_degree=4, block_dim=64)
+        workload.run(gpu)
+        assert workload.verify(gpu)
+
+    def test_single_partition_machine_still_correct(self):
+        base = make_fast_config()
+        mapping = dataclasses.replace(base.mapping, num_partitions=1)
+        config = base.replace(mapping=mapping)
+        gpu = GPU(config)
+        workload = VecAddWorkload(n=512, block_dim=64)
+        workload.run(gpu)
+        assert workload.verify(gpu)
+
+
+class TestTrackerConsistencyAcrossRuns:
+    def test_every_tracked_request_is_well_formed(self):
+        gpu = GPU(make_fast_config())
+        workload = BFSWorkload(num_nodes=256, avg_degree=5, block_dim=64)
+        workload.run(gpu)
+        assert workload.verify(gpu)
+        for record in gpu.tracker.read_requests():
+            assert Event.ISSUE in record.timestamps
+            assert Event.COMPLETE in record.timestamps
+            assert record.latency >= 0
+            assert sum(record.breakdown().values()) == record.latency
+        for load in gpu.tracker.loads:
+            assert load.complete_cycle >= load.issue_cycle
+            exposed = gpu.tracker.exposed_cycles(load)
+            assert 0 <= exposed <= load.latency
+
+    def test_request_count_scales_with_problem_size(self):
+        small_gpu, _ = run_vecadd(make_fast_config(), n=256)
+        large_gpu, _ = run_vecadd(make_fast_config(), n=2048)
+        assert (len(large_gpu.tracker.read_requests())
+                > len(small_gpu.tracker.read_requests()))
+
+    def test_store_traffic_reaches_dram(self):
+        gpu, _ = run_vecadd(make_fast_config(), n=1024)
+        stats = gpu.collect_stats().as_dict()
+        writes = sum(value for key, value in stats.items()
+                     if key.endswith("writes_completed"))
+        assert writes > 0

@@ -1,0 +1,57 @@
+"""Smoke tests for the runnable examples (small problem sizes)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv):
+    """Execute an example script as __main__ with the given arguments."""
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"example {name} missing"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_three_scripts(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+        assert (EXAMPLES_DIR / "quickstart.py") in scripts
+
+    def test_quickstart_runs(self, capsys):
+        run_example("quickstart.py", [])
+        output = capsys.readouterr().out
+        assert "correct: True" in output
+        assert "latency instrumentation summary" in output
+
+    def test_bfs_latency_breakdown_runs_small(self, capsys):
+        run_example("bfs_latency_breakdown.py",
+                    ["--nodes", "256", "--degree", "4", "--buckets", "8"])
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "Figure 2" in output
+        assert "exposed" in output
+
+    def test_dram_scheduler_study_runs_small(self, capsys):
+        run_example("dram_scheduler_study.py",
+                    ["--nodes", "256", "--degree", "4"])
+        output = capsys.readouterr().out
+        assert "DRAM scheduling policy" in output
+        assert "Warp scheduling policy" in output
+        assert "L1 policy" in output
+
+    @pytest.mark.slow
+    def test_static_latency_table_runs_quick(self, capsys):
+        run_example("static_latency_table.py", ["--quick"])
+        output = capsys.readouterr().out
+        assert "Table I reproduction" in output
+        assert "detected" in output

@@ -1,0 +1,107 @@
+"""Tests for the GPU configuration presets and the GPUConfig container."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu import GPUConfig, available_configs, get_config
+from repro.gpu.configs import (
+    GENERATION_LABELS,
+    TABLE_I_TARGETS,
+    table_i_generations,
+)
+from repro.utils.errors import ConfigurationError
+from tests.conftest import make_fast_config
+
+
+class TestPresets:
+    def test_all_presets_instantiate(self):
+        for name in available_configs():
+            config = get_config(name)
+            assert config.name == name
+            assert config.num_sms >= 1
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_config("gtx9000")
+
+    def test_table_i_generations_have_targets_and_labels(self):
+        for name in table_i_generations():
+            assert name in TABLE_I_TARGETS
+            assert name in GENERATION_LABELS
+
+    def test_fermi_has_l1_and_l2_on_global_path(self):
+        config = get_config("gf106")
+        assert config.core.l1.enabled
+        assert config.core.l1.cache_global
+        assert config.partition.l2_enabled
+        assert config.l1_bytes() is not None
+        assert config.total_l2_bytes() > 0
+
+    def test_kepler_l1_is_local_only(self):
+        config = get_config("gk104")
+        assert config.core.l1.enabled
+        assert not config.core.l1.cache_global
+        assert config.core.l1.cache_local
+        assert config.core.l1.caches_space(is_local=True)
+        assert not config.core.l1.caches_space(is_local=False)
+
+    def test_maxwell_has_no_l1(self):
+        config = get_config("gm107")
+        assert not config.core.l1.enabled
+        assert config.l1_bytes() is None
+        assert config.partition.l2_enabled
+
+    def test_tesla_has_no_caches_on_global_path(self):
+        config = get_config("gt200")
+        assert not config.core.l1.enabled
+        assert not config.partition.l2_enabled
+        assert config.total_l2_bytes() == 0
+
+    def test_gf100_matches_fermi_latency_knobs(self):
+        gf100 = get_config("gf100")
+        gf106 = get_config("gf106")
+        assert gf100.core.l1.hit_latency == gf106.core.l1.hit_latency
+        assert gf100.partition.l2.hit_latency == gf106.partition.l2.hit_latency
+        assert (gf100.partition.dram.service_pad
+                == gf106.partition.dram.service_pad)
+
+    def test_latency_ordering_follows_paper_trends(self):
+        # Kepler and Maxwell DRAM pads are smaller than Fermi's (their
+        # absolute DRAM latency is lower), and Maxwell is slower than
+        # Kepler at every level — the paper's headline observation.
+        kepler = get_config("gk104")
+        maxwell = get_config("gm107")
+        fermi = get_config("gf106")
+        assert kepler.partition.l2.hit_latency < maxwell.partition.l2.hit_latency
+        assert kepler.partition.dram.service_pad < maxwell.partition.dram.service_pad
+        assert maxwell.partition.dram.service_pad < fermi.partition.dram.service_pad
+
+
+class TestGPUConfigContainer:
+    def test_replace_produces_modified_copy(self):
+        config = make_fast_config()
+        modified = config.replace(num_sms=7)
+        assert modified.num_sms == 7
+        assert config.num_sms == 2
+        assert modified.core is config.core
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GPUConfig(name="bad", num_sms=0)
+        with pytest.raises(ConfigurationError):
+            GPUConfig(name="bad", global_memory_bytes=16)
+        with pytest.raises(ConfigurationError):
+            GPUConfig(name="bad", max_cycles=0)
+
+    def test_dram_scheduler_override(self):
+        config = make_fast_config()
+        dram = dataclasses.replace(config.partition.dram, scheduler="fcfs")
+        partition = dataclasses.replace(config.partition, dram=dram)
+        modified = config.replace(partition=partition)
+        assert modified.partition.dram.scheduler == "fcfs"
+
+    def test_warp_scheduler_override(self):
+        config = make_fast_config()
+        core = dataclasses.replace(config.core, warp_scheduler="lrr")
+        assert config.replace(core=core).core.warp_scheduler == "lrr"

@@ -1,0 +1,301 @@
+"""End-to-end kernel execution tests for the SM / GPU (functional + timing)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GPU
+from repro.isa import KernelBuilder
+from repro.utils.errors import SimulationError
+from tests.conftest import make_fast_config
+
+
+def run_kernel(gpu, builder, grid_dim, block_dim, params=None):
+    return gpu.launch(builder.build(), grid_dim=grid_dim, block_dim=block_dim,
+                      params=params or {})
+
+
+class TestArithmeticKernels:
+    def test_store_global_thread_id(self, fast_gpu):
+        builder = KernelBuilder("store_gtid")
+        index, address = builder.reg(), builder.reg()
+        out = builder.param("out")
+        builder.mov(index, builder.gtid)
+        builder.imad(address, index, 4, out)
+        builder.st_global(address, index)
+        out_dev = fast_gpu.allocate(4 * 256)
+        run_kernel(fast_gpu, builder, 4, 64, {"out": out_dev})
+        values = fast_gpu.global_memory.load_array(out_dev, 256)
+        assert np.array_equal(values, np.arange(256))
+
+    def test_special_registers(self, fast_gpu):
+        builder = KernelBuilder("specials")
+        value, address = builder.reg(), builder.reg()
+        out = builder.param("out")
+        # out[gtid] = ctaid * 1000 + tid
+        builder.imad(value, builder.ctaid, 1000, builder.tid)
+        builder.imad(address, builder.gtid, 4, out)
+        builder.st_global(address, value)
+        out_dev = fast_gpu.allocate(4 * 128)
+        run_kernel(fast_gpu, builder, 2, 64, {"out": out_dev})
+        values = fast_gpu.global_memory.load_array(out_dev, 128)
+        expected = np.array([cta * 1000 + tid for cta in range(2)
+                             for tid in range(64)])
+        assert np.array_equal(values, expected)
+
+    def test_dependent_arithmetic_chain(self, fast_gpu):
+        builder = KernelBuilder("chain")
+        a, b, address = builder.reg(), builder.reg(), builder.reg()
+        out = builder.param("out")
+        builder.mov(a, 3)
+        builder.imul(a, a, 7)          # 21
+        builder.iadd(a, a, 1)          # 22
+        builder.shl(b, a, 2)           # 88
+        builder.isub(b, b, a)          # 66
+        builder.imad(address, builder.gtid, 4, out)
+        builder.st_global(address, b)
+        out_dev = fast_gpu.allocate(4 * 32)
+        run_kernel(fast_gpu, builder, 1, 32, {"out": out_dev})
+        assert fast_gpu.global_memory.read_word(out_dev) == 66
+
+    def test_float_and_sfu_operations(self, fast_gpu):
+        builder = KernelBuilder("floats")
+        x, y, address = builder.reg(), builder.reg(), builder.reg()
+        out = builder.param("out")
+        builder.mov(x, 2.0)
+        builder.fsqrt(y, 16.0)         # 4
+        builder.fdiv(y, y, x)          # 2
+        builder.ffma(y, y, 3.0, 1.0)   # 7
+        builder.imad(address, builder.gtid, 4, out)
+        builder.st_global(address, y)
+        out_dev = fast_gpu.allocate(4 * 32)
+        run_kernel(fast_gpu, builder, 1, 32, {"out": out_dev})
+        assert fast_gpu.global_memory.read_word(out_dev) == 7.0
+
+
+class TestControlFlowKernels:
+    def test_predicated_execution(self, fast_gpu):
+        builder = KernelBuilder("predicated")
+        index, value, address = builder.reg(), builder.reg(), builder.reg()
+        is_even = builder.pred()
+        out = builder.param("out")
+        builder.mov(index, builder.gtid)
+        builder.irem(value, index, 2)
+        builder.setp(is_even, "eq", value, 0)
+        builder.mov(value, 100, pred=is_even)
+        builder.mov(value, 200, pred=is_even, negate=True)
+        builder.imad(address, index, 4, out)
+        builder.st_global(address, value)
+        out_dev = fast_gpu.allocate(4 * 64)
+        run_kernel(fast_gpu, builder, 1, 64, {"out": out_dev})
+        values = fast_gpu.global_memory.load_array(out_dev, 64)
+        assert np.array_equal(values, [100 if i % 2 == 0 else 200
+                                       for i in range(64)])
+
+    def test_divergent_if_else(self, fast_gpu):
+        builder = KernelBuilder("diverge")
+        index, value, address = builder.reg(), builder.reg(), builder.reg()
+        in_upper_half = builder.pred()
+        out = builder.param("out")
+        builder.mov(index, builder.gtid)
+        builder.setp(in_upper_half, "ge", index, 16)
+        with builder.if_else(in_upper_half) as otherwise:
+            builder.imul(value, index, 2)
+            otherwise()
+            builder.imul(value, index, 3)
+        builder.imad(address, index, 4, out)
+        builder.st_global(address, value)
+        out_dev = fast_gpu.allocate(4 * 32)
+        run_kernel(fast_gpu, builder, 1, 32, {"out": out_dev})
+        values = fast_gpu.global_memory.load_array(out_dev, 32)
+        expected = [i * 2 if i >= 16 else i * 3 for i in range(32)]
+        assert np.array_equal(values, expected)
+
+    def test_data_dependent_loop_trip_counts(self, fast_gpu):
+        # Each thread loops gtid % 7 times: heavy intra-warp divergence.
+        builder = KernelBuilder("varloop")
+        index, count, limit, address = (builder.reg(), builder.reg(),
+                                        builder.reg(), builder.reg())
+        out = builder.param("out")
+        builder.mov(index, builder.gtid)
+        builder.irem(limit, index, 7)
+        builder.mov(count, 0)
+        loop_counter = builder.reg()
+        with builder.for_range(loop_counter, 0, limit):
+            builder.iadd(count, count, 10)
+        builder.imad(address, index, 4, out)
+        builder.st_global(address, count)
+        out_dev = fast_gpu.allocate(4 * 64)
+        run_kernel(fast_gpu, builder, 2, 32, {"out": out_dev})
+        values = fast_gpu.global_memory.load_array(out_dev, 64)
+        assert np.array_equal(values, [(i % 7) * 10 for i in range(64)])
+
+    def test_nested_divergence(self, fast_gpu):
+        builder = KernelBuilder("nested")
+        index, value, address = builder.reg(), builder.reg(), builder.reg()
+        outer, inner = builder.pred(), builder.pred()
+        out = builder.param("out")
+        builder.mov(index, builder.gtid)
+        builder.mov(value, 0)
+        builder.setp(outer, "ge", index, 8)
+        with builder.if_(outer):
+            builder.iadd(value, value, 1)
+            builder.setp(inner, "ge", index, 16)
+            with builder.if_(inner):
+                builder.iadd(value, value, 10)
+        builder.imad(address, index, 4, out)
+        builder.st_global(address, value)
+        out_dev = fast_gpu.allocate(4 * 32)
+        run_kernel(fast_gpu, builder, 1, 32, {"out": out_dev})
+        values = fast_gpu.global_memory.load_array(out_dev, 32)
+        expected = [0] * 8 + [1] * 8 + [11] * 16
+        assert np.array_equal(values, expected)
+
+    def test_partial_warp_exit(self, fast_gpu):
+        # Half the warp exits early; the rest keeps computing.
+        builder = KernelBuilder("early_exit")
+        index, value, address = builder.reg(), builder.reg(), builder.reg()
+        leaves = builder.pred()
+        out = builder.param("out")
+        builder.mov(index, builder.gtid)
+        builder.imad(address, index, 4, out)
+        builder.st_global(address, 1)
+        builder.setp(leaves, "lt", index, 16)
+        builder.exit_()
+        # Wait: exit must be guarded; rebuild with a guard instead.
+        program_lines = builder._instructions
+        program_lines[-1].guard = (leaves, False)
+        builder.st_global(address, 2)
+        out_dev = fast_gpu.allocate(4 * 32)
+        run_kernel(fast_gpu, builder, 1, 32, {"out": out_dev})
+        values = fast_gpu.global_memory.load_array(out_dev, 32)
+        expected = [1] * 16 + [2] * 16
+        assert np.array_equal(values, expected)
+
+
+class TestSharedMemoryAndBarriers:
+    def test_reverse_within_cta_through_shared(self, fast_gpu):
+        builder = KernelBuilder("reverse")
+        builder.shared_alloc(4 * 64)
+        tid, value, address, partner = (builder.reg(), builder.reg(),
+                                        builder.reg(), builder.reg())
+        out = builder.param("out")
+        builder.mov(tid, builder.tid)
+        builder.imul(address, tid, 4)
+        builder.st_shared(address, tid)
+        builder.bar()
+        builder.isub(partner, 63, tid)
+        builder.imul(address, partner, 4)
+        builder.ld_shared(value, address)
+        builder.imad(address, builder.gtid, 4, out)
+        builder.st_global(address, value)
+        out_dev = fast_gpu.allocate(4 * 128)
+        run_kernel(fast_gpu, builder, 2, 64, {"out": out_dev})
+        values = fast_gpu.global_memory.load_array(out_dev, 128)
+        expected = np.concatenate([np.arange(63, -1, -1), np.arange(63, -1, -1)])
+        assert np.array_equal(values, expected)
+
+    def test_barrier_with_multiple_warps_orders_accesses(self, fast_gpu):
+        result = run_kernel_with_barrier(fast_gpu, block_dim=96)
+        assert result
+
+
+def run_kernel_with_barrier(gpu, block_dim):
+    builder = KernelBuilder("barrier_sum")
+    builder.shared_alloc(4 * block_dim)
+    tid, value, address = builder.reg(), builder.reg(), builder.reg()
+    out = builder.param("out")
+    builder.mov(tid, builder.tid)
+    builder.imul(address, tid, 4)
+    builder.st_shared(address, 5)
+    builder.bar()
+    # Every thread reads a slot written by a (potentially) different warp.
+    builder.isub(address, block_dim - 1, tid)
+    builder.imul(address, address, 4)
+    builder.ld_shared(value, address)
+    builder.imad(address, builder.gtid, 4, out)
+    builder.st_global(address, value)
+    out_dev = gpu.allocate(4 * block_dim)
+    gpu.launch(builder.build(), grid_dim=1, block_dim=block_dim,
+               params={"out": out_dev})
+    values = gpu.global_memory.load_array(out_dev, block_dim)
+    return bool((values == 5).all())
+
+
+class TestLocalMemory:
+    def test_local_memory_is_private_per_thread(self, fast_gpu):
+        builder = KernelBuilder("local_private")
+        value, address = builder.reg(), builder.reg()
+        builder.local_alloc(8)
+        out = builder.param("out")
+        builder.st_local(0, builder.gtid)
+        builder.st_local(4, 99)
+        builder.ld_local(value, 0)
+        builder.imad(address, builder.gtid, 4, out)
+        builder.st_global(address, value)
+        out_dev = fast_gpu.allocate(4 * 64)
+        run_kernel(fast_gpu, builder, 2, 32, {"out": out_dev})
+        values = fast_gpu.global_memory.load_array(out_dev, 64)
+        assert np.array_equal(values, np.arange(64))
+
+
+class TestLaunchBehaviour:
+    def test_missing_parameter_rejected(self, fast_gpu):
+        builder = KernelBuilder("needs_param")
+        builder.mov(builder.reg(), builder.param("n"))
+        with pytest.raises(SimulationError):
+            fast_gpu.launch(builder.build(), grid_dim=1, block_dim=32)
+
+    def test_max_cycles_guard(self, fast_gpu):
+        builder = KernelBuilder("spin")
+        counter = builder.reg()
+        done = builder.pred()
+        builder.mov(counter, 0)
+        with builder.while_loop() as loop:
+            builder.setp(done, "ge", counter, 10_000_000)
+            loop.break_if(done)
+            builder.iadd(counter, counter, 1)
+        with pytest.raises(SimulationError):
+            fast_gpu.launch(builder.build(), grid_dim=1, block_dim=32,
+                            max_cycles=2000)
+
+    def test_more_ctas_than_sms(self, fast_gpu):
+        builder = KernelBuilder("many_ctas")
+        address = builder.reg()
+        out = builder.param("out")
+        builder.imad(address, builder.gtid, 4, out)
+        builder.st_global(address, builder.ctaid)
+        out_dev = fast_gpu.allocate(4 * 64 * 40)
+        result = fast_gpu.launch(builder.build(), grid_dim=40, block_dim=64,
+                                 params={"out": out_dev})
+        values = fast_gpu.global_memory.load_array(out_dev, 64 * 40)
+        expected = np.repeat(np.arange(40), 64)
+        assert np.array_equal(values, expected)
+        assert result.cycles > 0
+        total_ctas = sum(sm.stats["ctas_launched"] for sm in fast_gpu.sms)
+        assert total_ctas == 40
+
+    def test_result_metadata(self, fast_gpu):
+        builder = KernelBuilder("tiny")
+        builder.nop()
+        result = fast_gpu.launch(builder.build(), grid_dim=1, block_dim=32)
+        assert result.kernel_name == "tiny"
+        assert result.instructions >= 2
+        assert result.cycles >= 1
+        assert 0 < result.ipc
+        assert result.end_cycle >= result.start_cycle
+
+    def test_sequential_launches_accumulate_cycles(self, fast_gpu):
+        builder = KernelBuilder("tiny")
+        builder.nop()
+        program = builder.build()
+        first = fast_gpu.launch(program, grid_dim=1, block_dim=32)
+        second = fast_gpu.launch(program, grid_dim=1, block_dim=32)
+        assert second.start_cycle > first.end_cycle
+
+    def test_collect_stats_includes_memory_and_sm(self, fast_gpu):
+        builder = KernelBuilder("tiny")
+        builder.nop()
+        fast_gpu.launch(builder.build(), grid_dim=1, block_dim=32)
+        stats = fast_gpu.collect_stats().as_dict()
+        assert any("instructions_issued" in key for key in stats)
+        assert any(key.endswith("cycles") for key in stats)

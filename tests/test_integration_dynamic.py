@@ -1,0 +1,123 @@
+"""Integration tests for the dynamic latency analysis (Section III).
+
+A small BFS run on the GF100-like configuration must reproduce the paper's
+qualitative findings: short-latency requests are pure "SM Base" (L1 hits),
+queueing components dominate long-latency requests, and a large share of
+BFS load latency is exposed rather than hidden.
+"""
+
+import pytest
+
+from repro.core.breakdown import breakdown_from_tracker
+from repro.core.exposure import compute_exposure
+from repro.core.stages import Event, Stage
+from repro.gpu import GPU, fermi_gf100
+from repro.workloads import BFSWorkload, MatMulWorkload
+
+
+@pytest.fixture(scope="module")
+def bfs_run():
+    """One shared BFS run on the GF100 configuration (module scoped: slow)."""
+    gpu = GPU(fermi_gf100())
+    workload = BFSWorkload(num_nodes=1024, avg_degree=8, block_dim=128, seed=5)
+    results = workload.run(gpu)
+    assert workload.verify(gpu)
+    return gpu, workload, results
+
+
+class TestRequestLifetimes:
+    def test_requests_tracked_and_monotonic(self, bfs_run):
+        gpu, _, _ = bfs_run
+        records = gpu.tracker.read_requests()
+        assert len(records) > 1000
+        for record in records[:200]:
+            times = list(record.timestamps.values())
+            assert times == sorted(times)
+            assert record.latency > 0
+            assert sum(record.breakdown().values()) == record.latency
+
+    def test_hits_and_misses_both_present(self, bfs_run):
+        gpu, _, _ = bfs_run
+        records = gpu.tracker.read_requests()
+        hits = [r for r in records if Event.ICNT_INJECT not in r.timestamps]
+        misses = [r for r in records if Event.DRAM_DATA in r.timestamps]
+        assert hits and misses
+
+    def test_load_instruction_records_cover_requests(self, bfs_run):
+        gpu, _, _ = bfs_run
+        loads = gpu.tracker.global_loads()
+        assert loads
+        assert all(load.latency > 0 for load in loads)
+        assert sum(load.num_requests for load in loads) >= len(loads)
+
+
+class TestFigure1Shape:
+    def test_short_latency_buckets_are_sm_base(self, bfs_run):
+        gpu, _, _ = bfs_run
+        result = breakdown_from_tracker(gpu.tracker, num_buckets=24)
+        first = result.non_empty_buckets()[0]
+        assert first.percentages()[Stage.SM_BASE] > 95.0
+
+    def test_long_latency_buckets_are_not_sm_base(self, bfs_run):
+        gpu, _, _ = bfs_run
+        result = breakdown_from_tracker(gpu.tracker, num_buckets=24)
+        buckets = result.non_empty_buckets()
+        last_quarter = buckets[3 * len(buckets) // 4:]
+        total = sum(bucket.total_cycles for bucket in last_quarter)
+        sm_base = sum(bucket.stage_cycles[Stage.SM_BASE]
+                      for bucket in last_quarter)
+        # Aggregated over the slowest quarter of the latency range, the
+        # memory-pipeline stages beyond the SM dominate the lifetime.
+        assert sm_base / total < 0.6
+
+    def test_queueing_grows_with_latency(self, bfs_run):
+        gpu, _, _ = bfs_run
+        result = breakdown_from_tracker(gpu.tracker, num_buckets=24)
+        buckets = result.non_empty_buckets()
+        queue_stages = (Stage.L1_TO_ICNT, Stage.ROP_TO_L2Q, Stage.L2Q_TO_DRAMQ,
+                        Stage.DRAM_Q_TO_SCH)
+
+        def queue_share(bucket):
+            percentages = bucket.percentages()
+            return sum(percentages[stage] for stage in queue_stages)
+
+        first = buckets[0]
+        longest = buckets[-1]
+        assert queue_share(longest) > queue_share(first)
+
+    def test_counts_conserved(self, bfs_run):
+        gpu, _, _ = bfs_run
+        result = breakdown_from_tracker(gpu.tracker, num_buckets=24)
+        assert (sum(bucket.count for bucket in result.buckets)
+                == result.total_requests)
+
+
+class TestFigure2Shape:
+    def test_exposure_is_significant_for_bfs(self, bfs_run):
+        gpu, _, _ = bfs_run
+        result = compute_exposure(gpu.tracker, num_buckets=16)
+        assert result.total_loads > 500
+        # The paper: "more than 50% for most of the global memory load
+        # instructions" and "sometimes close to 100%".
+        assert result.overall_exposed_fraction > 0.5
+        assert result.fraction_of_loads_mostly_exposed(50.0) > 0.5
+        assert max(bucket.exposed_percent
+                   for bucket in result.non_empty_buckets()) > 85.0
+
+    def test_exposure_bounded(self, bfs_run):
+        gpu, _, _ = bfs_run
+        result = compute_exposure(gpu.tracker, num_buckets=16)
+        for bucket in result.non_empty_buckets():
+            assert 0.0 <= bucket.exposed_percent <= 100.0
+
+
+class TestWorkloadContrast:
+    def test_matmul_hides_more_latency_than_bfs(self, bfs_run):
+        gpu_bfs, _, _ = bfs_run
+        bfs_exposure = compute_exposure(gpu_bfs.tracker).overall_exposed_fraction
+
+        gpu_mm = GPU(fermi_gf100())
+        workload = MatMulWorkload(n=32, block_dim=128)
+        workload.run_verified(gpu_mm)
+        matmul_exposure = compute_exposure(gpu_mm.tracker).overall_exposed_fraction
+        assert matmul_exposure < bfs_exposure

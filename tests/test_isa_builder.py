@@ -1,0 +1,250 @@
+"""Unit tests for the kernel builder and program assembly."""
+
+import pytest
+
+from repro.isa import CmpOp, KernelBuilder, MemSpace, Opcode
+from repro.isa.operands import Imm, Param, Pred, Reg, Special
+from repro.utils.errors import AssemblyError
+
+
+class TestRegisterAllocation:
+    def test_registers_are_sequential(self):
+        builder = KernelBuilder("k")
+        r0, r1 = builder.reg(), builder.reg()
+        assert (r0.index, r1.index) == (0, 1)
+
+    def test_bulk_allocation(self):
+        builder = KernelBuilder("k")
+        regs = builder.reg(3)
+        assert [r.index for r in regs] == [0, 1, 2]
+
+    def test_predicates_are_sequential(self):
+        builder = KernelBuilder("k")
+        p0, p1 = builder.pred(), builder.pred()
+        assert (p0.index, p1.index) == (0, 1)
+
+    def test_param_declared_once(self):
+        builder = KernelBuilder("k")
+        builder.param("n")
+        builder.param("n")
+        builder.mov(builder.reg(), builder.param("n"))
+        program = builder.build()
+        assert program.param_names == ("n",)
+
+    def test_shared_and_local_allocation_offsets(self):
+        builder = KernelBuilder("k")
+        assert builder.shared_alloc(64) == 0
+        assert builder.shared_alloc(32) == 64
+        assert builder.local_alloc(16) == 0
+        assert builder.local_alloc(16) == 16
+
+
+class TestInstructionEmission:
+    def test_operand_coercion_of_numbers(self):
+        builder = KernelBuilder("k")
+        reg = builder.reg()
+        instruction = builder.iadd(reg, 1, 2.5)
+        assert isinstance(instruction.srcs[0], Imm)
+        assert instruction.srcs[1].value == 2.5
+
+    def test_invalid_operand_rejected(self):
+        builder = KernelBuilder("k")
+        with pytest.raises(AssemblyError):
+            builder.mov(builder.reg(), "not an operand")
+
+    def test_setp_accepts_string_comparison(self):
+        builder = KernelBuilder("k")
+        instruction = builder.setp(builder.pred(), "ge", builder.reg(), 4)
+        assert instruction.cmp is CmpOp.GE
+
+    def test_guard_kwarg_sets_predicate(self):
+        builder = KernelBuilder("k")
+        pred = builder.pred()
+        instruction = builder.mov(builder.reg(), 1, pred=pred, negate=True)
+        assert instruction.guard == (pred, True)
+
+    def test_guard_requires_predicate_register(self):
+        builder = KernelBuilder("k")
+        with pytest.raises(AssemblyError):
+            builder.mov(builder.reg(), 1, pred=builder.reg())
+
+    def test_memory_instructions_carry_space_and_offset(self):
+        builder = KernelBuilder("k")
+        reg = builder.reg()
+        load = builder.ld_global(reg, reg, offset=8)
+        store = builder.st_shared(reg, reg)
+        builder.shared_alloc(4)
+        assert load.space is MemSpace.GLOBAL and load.offset == 8
+        assert store.space is MemSpace.SHARED
+
+    def test_special_registers_available(self):
+        builder = KernelBuilder("k")
+        for special in (builder.tid, builder.ctaid, builder.ntid,
+                        builder.nctaid, builder.laneid, builder.gtid):
+            assert isinstance(special, Special)
+
+
+class TestControlFlow:
+    def test_if_branch_targets_endif(self):
+        builder = KernelBuilder("k")
+        pred = builder.pred()
+        reg = builder.reg()
+        with builder.if_(pred):
+            builder.mov(reg, 1)
+        builder.mov(reg, 2)
+        program = builder.build()
+        branch = program[0]
+        assert branch.opcode is Opcode.BRA
+        assert branch.guard == (pred, True)
+        assert branch.target == 2          # skips the body
+        assert branch.reconv == 2
+
+    def test_if_negate_inverts_guard(self):
+        builder = KernelBuilder("k")
+        pred = builder.pred()
+        with builder.if_(pred, negate=True):
+            builder.mov(builder.reg(), 1)
+        program = builder.build()
+        assert program[0].guard == (pred, False)
+
+    def test_if_else_structure(self):
+        builder = KernelBuilder("k")
+        pred = builder.pred()
+        reg = builder.reg()
+        with builder.if_else(pred) as otherwise:
+            builder.mov(reg, 1)
+            otherwise()
+            builder.mov(reg, 2)
+        program = builder.build()
+        entry = program[0]
+        jump_over_else = program[2]
+        assert entry.target == 3              # else body
+        assert entry.reconv == 4              # end of the construct
+        assert jump_over_else.opcode is Opcode.BRA
+        assert jump_over_else.target == 4
+
+    def test_if_else_requires_otherwise_call(self):
+        builder = KernelBuilder("k")
+        pred = builder.pred()
+        with pytest.raises(AssemblyError):
+            with builder.if_else(pred):
+                builder.mov(builder.reg(), 1)
+
+    def test_if_else_rejects_double_otherwise(self):
+        builder = KernelBuilder("k")
+        pred = builder.pred()
+        with pytest.raises(AssemblyError):
+            with builder.if_else(pred) as otherwise:
+                otherwise()
+                otherwise()
+
+    def test_while_loop_back_edge_and_exit(self):
+        builder = KernelBuilder("k")
+        pred = builder.pred()
+        counter = builder.reg()
+        builder.mov(counter, 0)
+        with builder.while_loop() as loop:
+            builder.setp(pred, "ge", counter, 4)
+            loop.break_if(pred)
+            builder.iadd(counter, counter, 1)
+        program = builder.build()
+        break_branch = program[2]
+        back_edge = program[4]
+        assert break_branch.target == 5 and break_branch.reconv == 5
+        assert back_edge.target == 1 and back_edge.guard is None
+
+    def test_for_range_emits_counter_update(self):
+        builder = KernelBuilder("k")
+        counter = builder.reg()
+        with builder.for_range(counter, 0, 8):
+            builder.nop()
+        program = builder.build()
+        opcodes = [instruction.opcode for instruction in program.instructions]
+        assert Opcode.SETP in opcodes
+        assert opcodes.count(Opcode.BRA) == 2
+        assert Opcode.IADD in opcodes
+
+    def test_for_range_zero_step_rejected(self):
+        builder = KernelBuilder("k")
+        with pytest.raises(AssemblyError):
+            with builder.for_range(builder.reg(), 0, 4, step=0):
+                pass
+
+    def test_unplaced_label_detected(self):
+        builder = KernelBuilder("k")
+        label = builder.new_label("dangling")
+        builder._emit_branch(label)
+        with pytest.raises(AssemblyError):
+            builder.build()
+
+    def test_label_cannot_be_placed_twice(self):
+        builder = KernelBuilder("k")
+        label = builder.new_label()
+        builder.place_label(label)
+        with pytest.raises(AssemblyError):
+            builder.place_label(label)
+
+
+class TestProgramAssembly:
+    def test_exit_appended_automatically(self):
+        builder = KernelBuilder("k")
+        builder.mov(builder.reg(), 1)
+        program = builder.build()
+        assert program.instructions[-1].opcode is Opcode.EXIT
+
+    def test_explicit_exit_not_duplicated(self):
+        builder = KernelBuilder("k")
+        builder.mov(builder.reg(), 1)
+        builder.exit_()
+        program = builder.build()
+        exits = [i for i in program.instructions if i.opcode is Opcode.EXIT]
+        assert len(exits) == 1
+
+    def test_pc_assigned_sequentially(self):
+        builder = KernelBuilder("k")
+        builder.mov(builder.reg(), 1)
+        builder.mov(builder.reg(), 2)
+        program = builder.build()
+        assert [instruction.pc for instruction in program.instructions] == [0, 1, 2]
+
+    def test_register_counts_recorded(self):
+        builder = KernelBuilder("k")
+        builder.reg(5)
+        builder.pred(2)
+        builder.nop()
+        program = builder.build()
+        assert program.num_registers == 5
+        assert program.num_predicates == 2
+
+    def test_disassembly_mentions_kernel_name(self):
+        builder = KernelBuilder("mykernel")
+        builder.nop()
+        listing = builder.build().disassemble()
+        assert "mykernel" in listing
+        assert "exit" in listing
+
+    def test_shared_access_without_allocation_rejected(self):
+        builder = KernelBuilder("k")
+        reg = builder.reg()
+        builder.ld_shared(reg, 0)
+        with pytest.raises(AssemblyError):
+            builder.build()
+
+    def test_undeclared_param_rejected(self):
+        builder = KernelBuilder("k")
+        reg = builder.reg()
+        builder.mov(reg, Param("undeclared"))
+        with pytest.raises(AssemblyError):
+            builder.build()
+
+    def test_out_of_range_register_rejected(self):
+        builder = KernelBuilder("k")
+        builder.mov(Reg(7), 1)
+        with pytest.raises(AssemblyError):
+            builder.build()
+
+    def test_out_of_range_predicate_rejected(self):
+        builder = KernelBuilder("k")
+        builder.setp(Pred(3), "eq", 1, 1)
+        with pytest.raises(AssemblyError):
+            builder.build()

@@ -1,0 +1,146 @@
+"""Unit tests for operands, instructions, and program validation."""
+
+import pytest
+
+from repro.isa import CmpOp, Instruction, MemSpace, Opcode, Program, Unit, unit_for
+from repro.isa.operands import Imm, Param, Pred, Reg, Special
+from repro.utils.errors import AssemblyError
+
+
+class TestOperands:
+    def test_register_repr(self):
+        assert repr(Reg(3)) == "r3"
+        assert repr(Pred(1)) == "p1"
+
+    def test_special_register_validation(self):
+        assert repr(Special("tid")) == "%tid"
+        with pytest.raises(ValueError):
+            Special("bogus")
+
+    def test_operands_are_hashable_value_objects(self):
+        assert Reg(2) == Reg(2)
+        assert len({Reg(2), Reg(2), Reg(3)}) == 2
+        assert Imm(1.0) == Imm(1.0)
+        assert Param("n") == Param("n")
+
+
+class TestInstructionProperties:
+    def test_unit_mapping(self):
+        assert unit_for(Opcode.IADD) is Unit.SP
+        assert unit_for(Opcode.FDIV) is Unit.SFU
+        assert unit_for(Opcode.LD) is Unit.MEM
+        assert unit_for(Opcode.BRA) is Unit.CTRL
+
+    def test_every_opcode_has_a_unit(self):
+        for opcode in Opcode:
+            assert unit_for(opcode) in Unit
+
+    def test_memory_predicates(self):
+        load = Instruction(opcode=Opcode.LD, dst=Reg(0), srcs=(Reg(1),),
+                           space=MemSpace.GLOBAL)
+        store = Instruction(opcode=Opcode.ST, srcs=(Reg(1), Reg(2)),
+                            space=MemSpace.GLOBAL)
+        assert load.is_load and load.is_memory and not load.is_store
+        assert store.is_store and store.is_memory and not store.is_load
+
+    def test_register_read_write_sets(self):
+        guard = (Pred(0), False)
+        instruction = Instruction(opcode=Opcode.IADD, dst=Reg(2),
+                                  srcs=(Reg(0), Reg(1)), guard=guard)
+        assert instruction.reads_registers() == (Reg(0), Reg(1))
+        assert instruction.reads_predicates() == (Pred(0),)
+        assert instruction.writes_register() == Reg(2)
+        assert instruction.writes_predicate() is None
+
+    def test_setp_writes_predicate(self):
+        instruction = Instruction(opcode=Opcode.SETP, dst=Pred(1),
+                                  srcs=(Reg(0), Imm(1)), cmp=CmpOp.EQ)
+        assert instruction.writes_predicate() == Pred(1)
+        assert instruction.writes_register() is None
+
+    def test_str_rendering(self):
+        instruction = Instruction(
+            opcode=Opcode.LD, dst=Reg(0), srcs=(Reg(1),),
+            space=MemSpace.GLOBAL, offset=4, guard=(Pred(0), True),
+            comment="load next pointer",
+        )
+        text = str(instruction)
+        assert "@!p0" in text
+        assert "ld.global" in text
+        assert "load next pointer" in text
+
+
+class TestProgramValidation:
+    @staticmethod
+    def make_program(instructions, **kwargs):
+        defaults = dict(name="test", num_registers=4, num_predicates=2)
+        defaults.update(kwargs)
+        return Program(instructions=instructions, **defaults)
+
+    def test_valid_program_passes(self):
+        program = self.make_program([
+            Instruction(opcode=Opcode.MOV, dst=Reg(0), srcs=(Imm(1),)),
+            Instruction(opcode=Opcode.EXIT),
+        ])
+        program.validate()
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblyError):
+            self.make_program([]).validate()
+
+    def test_missing_exit_rejected(self):
+        program = self.make_program([
+            Instruction(opcode=Opcode.MOV, dst=Reg(0), srcs=(Imm(1),)),
+        ])
+        with pytest.raises(AssemblyError):
+            program.validate()
+
+    def test_unpatched_branch_rejected(self):
+        program = self.make_program([
+            Instruction(opcode=Opcode.BRA),
+            Instruction(opcode=Opcode.EXIT),
+        ])
+        with pytest.raises(AssemblyError):
+            program.validate()
+
+    def test_branch_target_out_of_range_rejected(self):
+        program = self.make_program([
+            Instruction(opcode=Opcode.BRA, target=99),
+            Instruction(opcode=Opcode.EXIT),
+        ])
+        with pytest.raises(AssemblyError):
+            program.validate()
+
+    def test_guarded_branch_needs_reconvergence(self):
+        program = self.make_program([
+            Instruction(opcode=Opcode.BRA, target=1, guard=(Pred(0), False)),
+            Instruction(opcode=Opcode.EXIT),
+        ])
+        with pytest.raises(AssemblyError):
+            program.validate()
+
+    def test_memory_without_space_rejected(self):
+        program = self.make_program([
+            Instruction(opcode=Opcode.LD, dst=Reg(0), srcs=(Reg(1),)),
+            Instruction(opcode=Opcode.EXIT),
+        ])
+        with pytest.raises(AssemblyError):
+            program.validate()
+
+    def test_loads_and_stores_helpers(self):
+        program = self.make_program([
+            Instruction(opcode=Opcode.LD, dst=Reg(0), srcs=(Reg(1),),
+                        space=MemSpace.GLOBAL),
+            Instruction(opcode=Opcode.ST, srcs=(Reg(1), Reg(0)),
+                        space=MemSpace.GLOBAL),
+            Instruction(opcode=Opcode.EXIT),
+        ])
+        assert len(program.loads()) == 1
+        assert len(program.stores()) == 1
+
+    def test_pc_set_on_construction(self):
+        program = self.make_program([
+            Instruction(opcode=Opcode.NOP),
+            Instruction(opcode=Opcode.EXIT),
+        ])
+        assert [i.pc for i in program.instructions] == [0, 1]

@@ -1,0 +1,85 @@
+"""Unit and property tests for address decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.address import AddressMapping
+from repro.utils.errors import ConfigurationError
+
+addresses = st.integers(min_value=0, max_value=1 << 26)
+
+
+class TestAddressMappingBasics:
+    def test_partition_interleaving(self):
+        mapping = AddressMapping(num_partitions=4, partition_chunk=256)
+        assert mapping.partition_of(0) == 0
+        assert mapping.partition_of(256) == 1
+        assert mapping.partition_of(512) == 2
+        assert mapping.partition_of(768) == 3
+        assert mapping.partition_of(1024) == 0
+
+    def test_partition_local_compacts_chunks(self):
+        mapping = AddressMapping(num_partitions=4, partition_chunk=256)
+        # The second chunk owned by partition 0 starts at global 1024 and
+        # must directly follow the first chunk in partition-local space.
+        assert mapping.partition_local(0) == 0
+        assert mapping.partition_local(1024) == 256
+        assert mapping.partition_local(1024 + 17) == 256 + 17
+
+    def test_bank_and_row_decoding(self):
+        mapping = AddressMapping(num_partitions=1, partition_chunk=256,
+                                 row_bytes=1024, num_banks=4)
+        assert mapping.bank_of(0) == 0
+        assert mapping.bank_of(1024) == 1
+        assert mapping.bank_of(4096) == 0
+        assert mapping.row_of(0) == 0
+        assert mapping.row_of(4096) == 1
+
+    def test_decode_tuple(self):
+        mapping = AddressMapping(num_partitions=2)
+        partition, bank, row = mapping.decode(12345)
+        assert partition == mapping.partition_of(12345)
+        assert bank == mapping.bank_of(12345)
+        assert row == mapping.row_of(12345)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapping(num_partitions=0)
+        with pytest.raises(ConfigurationError):
+            AddressMapping(partition_chunk=300)
+        with pytest.raises(ConfigurationError):
+            AddressMapping(row_bytes=1000)
+        with pytest.raises(ConfigurationError):
+            AddressMapping(num_banks=0)
+
+
+class TestAddressMappingProperties:
+    @given(addresses)
+    def test_partition_in_range(self, address):
+        mapping = AddressMapping(num_partitions=4)
+        assert 0 <= mapping.partition_of(address) < 4
+
+    @given(addresses)
+    def test_bank_in_range(self, address):
+        mapping = AddressMapping(num_partitions=4, num_banks=8)
+        assert 0 <= mapping.bank_of(address) < 8
+
+    @given(addresses)
+    def test_partition_local_preserves_chunk_offset(self, address):
+        mapping = AddressMapping(num_partitions=4, partition_chunk=256)
+        assert (mapping.partition_local(address) % 256) == (address % 256)
+
+    @given(addresses, addresses)
+    def test_partition_local_injective_within_partition(self, a, b):
+        mapping = AddressMapping(num_partitions=4, partition_chunk=256)
+        if a != b and mapping.partition_of(a) == mapping.partition_of(b):
+            assert mapping.partition_local(a) != mapping.partition_local(b)
+
+    @given(st.integers(min_value=0, max_value=1 << 16))
+    def test_sequential_chunks_cover_all_partitions(self, chunk_index):
+        mapping = AddressMapping(num_partitions=4, partition_chunk=256)
+        partitions = {
+            mapping.partition_of((chunk_index + offset) * 256)
+            for offset in range(4)
+        }
+        assert partitions == {0, 1, 2, 3}

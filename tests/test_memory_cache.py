@@ -1,0 +1,141 @@
+"""Unit and property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.utils.errors import ConfigurationError
+
+
+def small_cache(size=1024, line=64, assoc=2, set_index_fn=None):
+    return SetAssociativeCache(
+        CacheGeometry(size, line, assoc, name="test"), set_index_fn=set_index_fn
+    )
+
+
+class TestGeometry:
+    def test_derived_quantities(self):
+        geometry = CacheGeometry(16 * 1024, 128, 4)
+        assert geometry.num_lines == 128
+        assert geometry.num_sets == 32
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(1024, 100, 2)
+
+    def test_rejects_size_not_multiple_of_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(1000, 64, 2)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(1024, 64, 0)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(1024, 64, 3)   # sets would not be a power of two
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(0, 64, 2)
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit_after_fill(self):
+        cache = small_cache()
+        assert not cache.access(0x100)
+        cache.fill(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x13c)        # same 64-byte line
+
+    def test_probe_does_not_change_lru(self):
+        cache = small_cache(size=128, line=64, assoc=2)
+        cache.fill(0x000)
+        cache.fill(0x200)
+        cache.probe(0x000)                 # probe must not refresh LRU
+        cache.fill(0x400)                  # evicts the true LRU: 0x000
+        assert not cache.probe(0x000)
+        assert cache.probe(0x200)
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(size=128, line=64, assoc=2)   # one set
+        cache.fill(0x000)
+        cache.fill(0x200)
+        cache.access(0x000)                # 0x200 becomes LRU
+        victim = cache.fill(0x400)
+        assert victim == 0x200
+
+    def test_fill_existing_line_returns_none(self):
+        cache = small_cache()
+        cache.fill(0x80)
+        assert cache.fill(0x80) is None
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(0x80)
+        assert cache.invalidate(0x80)
+        assert not cache.probe(0x80)
+        assert not cache.invalidate(0x80)
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.fill(0x80)
+        cache.fill(0x180)
+        cache.flush()
+        assert cache.resident_lines == 0
+
+    def test_hit_rate_and_stats(self):
+        cache = small_cache()
+        cache.access(0x0)          # miss
+        cache.fill(0x0)
+        cache.access(0x0)          # hit
+        assert cache.stats["hits"] == 1
+        assert cache.stats["misses"] == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_hit_rate_zero_without_accesses(self):
+        assert small_cache().hit_rate() == 0.0
+
+    def test_custom_set_index_function(self):
+        # Map everything to set 0 and check that associativity then bounds
+        # the number of resident lines.
+        cache = small_cache(size=1024, line=64, assoc=2,
+                            set_index_fn=lambda addr: 0)
+        for index in range(4):
+            cache.fill(index * 64)
+        assert cache.resident_lines == 2
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1,
+                    max_size=200))
+    @settings(max_examples=50)
+    def test_capacity_never_exceeded(self, addresses):
+        cache = small_cache(size=512, line=64, assoc=2)
+        for address in addresses:
+            cache.fill(address)
+            assert cache.resident_lines <= cache.geometry.num_lines
+        for address in addresses[-cache.geometry.associativity:]:
+            pass
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1,
+                    max_size=100))
+    @settings(max_examples=50)
+    def test_fill_makes_line_resident(self, addresses):
+        cache = small_cache(size=2048, line=64, assoc=4)
+        for address in addresses:
+            cache.fill(address)
+            assert cache.probe(address)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1,
+                    max_size=100))
+    @settings(max_examples=50)
+    def test_working_set_within_one_set_capacity_always_hits(self, addresses):
+        # If we restrict addresses to at most `assoc` distinct lines of one
+        # set, re-accessing them after filling can never miss (LRU keeps
+        # them all resident).
+        cache = small_cache(size=1024, line=64, assoc=4)
+        lines = [((address // 64) % 4) * 64 * cache.geometry.num_sets
+                 for address in addresses]
+        for line in lines:
+            cache.fill(line)
+        for line in set(lines):
+            assert cache.probe(line)

@@ -1,0 +1,265 @@
+"""Unit tests for the L2 slice, the memory partition, and the memory system."""
+
+import pytest
+
+from repro.core.stages import Event
+from repro.core.tracker import LatencyTracker
+from repro.isa.opcodes import MemSpace
+from repro.memory.address import AddressMapping
+from repro.memory.cache import CacheGeometry
+from repro.memory.dram import DRAMTiming, DramChannel
+from repro.memory.interconnect import InterconnectConfig
+from repro.memory.l2cache import L2Slice, L2SliceConfig
+from repro.memory.partition import MemoryPartition, PartitionConfig
+from repro.memory.request import MemoryRequest
+from repro.memory.subsystem import MemorySystem
+from repro.utils.errors import ConfigurationError
+from repro.utils.queues import BoundedQueue
+
+
+def read_request(address, sm_id=0):
+    return MemoryRequest(address=address, size=128, is_write=False,
+                         space=MemSpace.GLOBAL, sm_id=sm_id)
+
+
+def write_request(address, sm_id=0):
+    return MemoryRequest(address=address, size=128, is_write=True,
+                         space=MemSpace.GLOBAL, sm_id=sm_id)
+
+
+def make_l2(tracker=None, hit_latency=6, mshr_entries=4, queue=4):
+    config = L2SliceConfig(
+        geometry=CacheGeometry(4 * 1024, 128, 4, name="l2test"),
+        hit_latency=hit_latency,
+        mshr_entries=mshr_entries,
+        mshr_max_merge=2,
+        input_queue_size=queue,
+    )
+    return L2Slice(0, config, tracker or LatencyTracker())
+
+
+def make_dram(tracker=None):
+    timing = DRAMTiming(t_rcd=4, t_rp=4, t_cas=4, burst_cycles=2,
+                        service_pad=0, queue_size=8, num_banks=2)
+    mapping = AddressMapping(num_partitions=1, row_bytes=512, num_banks=2)
+    return DramChannel(0, timing, mapping, tracker or LatencyTracker())
+
+
+def partition_config():
+    return PartitionConfig(
+        rop_latency=3,
+        rop_queue_size=4,
+        l2_enabled=True,
+        l2=L2SliceConfig(
+            geometry=CacheGeometry(4 * 1024, 128, 4, name="l2test"),
+            hit_latency=6, mshr_entries=8, mshr_max_merge=4, input_queue_size=4,
+        ),
+        dram=DRAMTiming(t_rcd=4, t_rp=4, t_cas=4, burst_cycles=2,
+                        service_pad=0, queue_size=8, num_banks=2),
+        return_queue_size=4,
+    )
+
+
+class TestL2Slice:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            L2SliceConfig(geometry=CacheGeometry(4096, 128, 4), hit_latency=0)
+        with pytest.raises(ConfigurationError):
+            PartitionConfig(l2_enabled=True, l2=None)
+
+    def test_read_miss_forwards_to_dram_and_fill_returns_waiters(self):
+        tracker = LatencyTracker()
+        l2 = make_l2(tracker)
+        dram = make_dram(tracker)
+        returns = BoundedQueue(8)
+        request = read_request(0x1000)
+        l2.push_request(request, now=0)
+        l2.cycle(1, dram, returns)
+        assert dram.queue_occupancy() == 1
+        assert l2.outstanding_misses() == 1
+        waiters = l2.fill(request, now=50)
+        assert waiters == [request]
+        assert l2.cache.probe(0x1000)
+
+    def test_read_hit_served_after_latency(self):
+        tracker = LatencyTracker()
+        l2 = make_l2(tracker, hit_latency=6)
+        dram = make_dram(tracker)
+        returns = BoundedQueue(8)
+        l2.cache.fill(0x1000)
+        request = read_request(0x1000)
+        l2.push_request(request, now=0)
+        l2.cycle(0, dram, returns)
+        assert len(returns) == 0
+        for cycle in range(1, 10):
+            l2.cycle(cycle, dram, returns)
+        assert returns.pop() is request
+        assert request.l2_hit
+        assert Event.L2_DATA in request.timestamps
+
+    def test_miss_to_same_line_merges(self):
+        tracker = LatencyTracker()
+        l2 = make_l2(tracker)
+        dram = make_dram(tracker)
+        returns = BoundedQueue(8)
+        first = read_request(0x2000)
+        second = read_request(0x2000)
+        l2.push_request(first, now=0)
+        l2.push_request(second, now=0)
+        l2.cycle(0, dram, returns)
+        l2.cycle(1, dram, returns)
+        assert dram.queue_occupancy() == 1
+        waiters = l2.fill(first, now=30)
+        assert set(waiters) == {first, second}
+
+    def test_write_is_write_through_no_allocate(self):
+        tracker = LatencyTracker()
+        l2 = make_l2(tracker)
+        dram = make_dram(tracker)
+        returns = BoundedQueue(8)
+        request = write_request(0x3000)
+        l2.push_request(request, now=0)
+        l2.cycle(0, dram, returns)
+        assert dram.queue_occupancy() == 1
+        assert not l2.cache.probe(0x3000)
+
+    def test_mshr_full_stalls_queue_head(self):
+        tracker = LatencyTracker()
+        l2 = make_l2(tracker, mshr_entries=1)
+        dram = make_dram(tracker)
+        returns = BoundedQueue(8)
+        l2.push_request(read_request(0x1000), now=0)
+        l2.push_request(read_request(0x8000), now=0)
+        l2.cycle(0, dram, returns)
+        l2.cycle(1, dram, returns)
+        assert dram.queue_occupancy() == 1        # second miss blocked
+        assert l2.stats["mshr_full_stall_cycles"] >= 1
+
+
+class TestMemoryPartition:
+    def test_request_travels_rop_l2_dram_and_back(self):
+        tracker = LatencyTracker()
+        mapping = AddressMapping(num_partitions=1, row_bytes=512, num_banks=2)
+        partition = MemoryPartition(0, partition_config(), mapping, tracker)
+        request = read_request(0x4000)
+        partition.accept(request, now=0)
+        for cycle in range(200):
+            partition.cycle(cycle)
+            if partition.return_queue:
+                break
+        response = partition.return_queue.pop()
+        assert response is request
+        timestamps = request.timestamps
+        assert timestamps[Event.ROP_ARRIVE] <= timestamps[Event.L2Q_ARRIVE]
+        assert timestamps[Event.L2Q_ARRIVE] <= timestamps[Event.DRAM_Q_ARRIVE]
+        assert timestamps[Event.DRAM_Q_ARRIVE] <= timestamps[Event.DRAM_SCHEDULED]
+        assert partition.in_flight() == 0
+
+    def test_rop_delay_enforced(self):
+        tracker = LatencyTracker()
+        mapping = AddressMapping(num_partitions=1, row_bytes=512, num_banks=2)
+        config = partition_config()
+        partition = MemoryPartition(0, config, mapping, tracker)
+        request = read_request(0x100)
+        partition.accept(request, now=0)
+        for cycle in range(config.rop_latency):
+            partition.cycle(cycle)
+        assert Event.L2Q_ARRIVE not in request.timestamps
+        partition.cycle(config.rop_latency)
+        assert Event.L2Q_ARRIVE in request.timestamps
+
+    def test_accept_respects_rop_capacity(self):
+        tracker = LatencyTracker()
+        mapping = AddressMapping(num_partitions=1, row_bytes=512, num_banks=2)
+        partition = MemoryPartition(0, partition_config(), mapping, tracker)
+        for index in range(4):
+            assert partition.can_accept()
+            partition.accept(read_request(index * 128), now=0)
+        assert not partition.can_accept()
+        with pytest.raises(RuntimeError):
+            partition.accept(read_request(0x9000), now=0)
+
+    def test_l2_disabled_goes_straight_to_dram(self):
+        tracker = LatencyTracker()
+        mapping = AddressMapping(num_partitions=1, row_bytes=512, num_banks=2)
+        config = PartitionConfig(
+            rop_latency=2, rop_queue_size=4, l2_enabled=False, l2=None,
+            dram=DRAMTiming(t_rcd=4, t_rp=4, t_cas=4, burst_cycles=2,
+                            service_pad=0, queue_size=8, num_banks=2),
+            return_queue_size=4,
+        )
+        partition = MemoryPartition(0, config, mapping, tracker)
+        assert partition.l2 is None
+        request = read_request(0x100)
+        partition.accept(request, now=0)
+        for cycle in range(100):
+            partition.cycle(cycle)
+            if partition.return_queue:
+                break
+        assert partition.return_queue.pop() is request
+        assert Event.L2_DATA not in request.timestamps
+        assert Event.DRAM_DATA in request.timestamps
+
+
+class TestMemorySystem:
+    def make_system(self, tracker=None):
+        mapping = AddressMapping(num_partitions=2, partition_chunk=256,
+                                 row_bytes=512, num_banks=2)
+        return MemorySystem(
+            num_sms=2,
+            mapping=mapping,
+            icnt_config=InterconnectConfig(latency=3, accept_per_cycle=1,
+                                           output_queue_size=4, credit_limit=8),
+            partition_config=partition_config(),
+            tracker=tracker or LatencyTracker(),
+        )
+
+    def test_roundtrip_through_system(self):
+        tracker = LatencyTracker()
+        system = self.make_system(tracker)
+        request = read_request(0x1000, sm_id=1)
+        assert system.try_inject(1, request, now=0)
+        response = None
+        for cycle in range(500):
+            system.cycle(cycle)
+            response = system.pop_response(1)
+            if response is not None:
+                break
+        assert response is request
+        assert Event.ICNT_INJECT in request.timestamps
+        assert request.partition == system.partition_of(0x1000)
+        assert system.in_flight() == 0
+
+    def test_requests_route_to_correct_partition(self):
+        system = self.make_system()
+        assert system.partition_of(0) == 0
+        assert system.partition_of(256) == 1
+        assert system.partition_of(512) == 0
+
+    def test_injection_blocked_without_credits(self):
+        system = self.make_system()
+        blocked = 0
+        for index in range(32):
+            request = read_request(index * 1024)   # all map to partition 0
+            if not system.try_inject(0, request, now=0):
+                blocked += 1
+        assert blocked > 0
+        assert system.stats["inject_stall_cycles"] == blocked
+
+    def test_collect_stats_aggregates_components(self):
+        system = self.make_system()
+        request = read_request(0x100)
+        system.try_inject(0, request, now=0)
+        for cycle in range(300):
+            system.cycle(cycle)
+            if system.pop_response(0) is not None:
+                break
+        stats = system.collect_stats().as_dict()
+        assert any("requests_injected" in key for key in stats)
+        assert any("row_" in key for key in stats)
+
+    def test_needs_at_least_one_sm(self):
+        mapping = AddressMapping(num_partitions=1)
+        with pytest.raises(ConfigurationError):
+            MemorySystem(0, mapping, InterconnectConfig(), partition_config(),
+                         LatencyTracker())

@@ -1,0 +1,95 @@
+"""Unit tests for the MSHR table."""
+
+import pytest
+
+from repro.isa.opcodes import MemSpace
+from repro.memory.mshr import MSHRTable
+from repro.memory.request import MemoryRequest
+from repro.utils.errors import SimulationError
+
+
+def make_request(address=0x100):
+    return MemoryRequest(address=address, size=128, is_write=False,
+                         space=MemSpace.GLOBAL, sm_id=0)
+
+
+class TestMSHRTable:
+    def test_allocate_and_lookup(self):
+        table = MSHRTable(num_entries=2)
+        request = make_request()
+        entry = table.allocate(0x100, request)
+        assert table.lookup(0x100) is entry
+        assert entry.primary is request
+        assert entry.num_requests == 1
+
+    def test_lookup_missing_returns_none(self):
+        assert MSHRTable(2).lookup(0x40) is None
+
+    def test_full_and_capacity(self):
+        table = MSHRTable(num_entries=1)
+        table.allocate(0x100, make_request())
+        assert table.full()
+        with pytest.raises(SimulationError):
+            table.allocate(0x200, make_request(0x200))
+
+    def test_double_allocate_same_line_rejected(self):
+        table = MSHRTable(4)
+        table.allocate(0x100, make_request())
+        with pytest.raises(SimulationError):
+            table.allocate(0x100, make_request())
+
+    def test_merge_attaches_to_primary(self):
+        table = MSHRTable(4, max_merged=2)
+        primary = make_request()
+        merged = make_request()
+        table.allocate(0x100, primary)
+        entry = table.merge(0x100, merged)
+        assert entry.num_requests == 2
+        assert merged in primary.merged
+
+    def test_merge_limit_enforced(self):
+        table = MSHRTable(4, max_merged=1)
+        table.allocate(0x100, make_request())
+        table.merge(0x100, make_request())
+        assert not table.can_merge(0x100)
+        with pytest.raises(SimulationError):
+            table.merge(0x100, make_request())
+
+    def test_merge_without_entry_rejected(self):
+        with pytest.raises(SimulationError):
+            MSHRTable(4).merge(0x100, make_request())
+
+    def test_release_returns_all_waiters(self):
+        table = MSHRTable(4)
+        primary = make_request()
+        merged = make_request()
+        table.allocate(0x100, primary)
+        table.merge(0x100, merged)
+        entry = table.release(0x100)
+        assert entry.primary is primary
+        assert entry.merged == [merged]
+        assert table.lookup(0x100) is None
+        assert not table.full()
+
+    def test_release_unknown_line_rejected(self):
+        with pytest.raises(SimulationError):
+            MSHRTable(4).release(0x123)
+
+    def test_outstanding_lines(self):
+        table = MSHRTable(4)
+        table.allocate(0x100, make_request(0x100))
+        table.allocate(0x200, make_request(0x200))
+        assert sorted(table.outstanding_lines()) == [0x100, 0x200]
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(SimulationError):
+            MSHRTable(0)
+
+    def test_stats_track_operations(self):
+        table = MSHRTable(4)
+        table.allocate(0x100, make_request())
+        table.merge(0x100, make_request())
+        table.release(0x100)
+        assert table.stats["allocations"] == 1
+        assert table.stats["merges"] == 1
+        assert table.stats["releases"] == 1

@@ -1,0 +1,247 @@
+"""Unit tests for the LD/ST unit: coalescing, L1 behaviour, completion."""
+
+import numpy as np
+import pytest
+
+from repro.core.stages import Event
+from repro.core.tracker import LatencyTracker
+from repro.isa import KernelBuilder
+from repro.isa.opcodes import MemSpace
+from repro.memory.interconnect import InterconnectConfig
+from repro.memory.partition import PartitionConfig
+from repro.memory.subsystem import MemorySystem
+from repro.simt.ldst import LoadStoreUnit, LoadToken
+from tests.conftest import make_fast_config
+
+
+def build_harness(l1_enabled=True, cache_global=True):
+    """A LoadStoreUnit wired to a real (small) memory system."""
+    import dataclasses
+
+    config = make_fast_config()
+    l1 = dataclasses.replace(config.core.l1, enabled=l1_enabled,
+                             cache_global=cache_global)
+    core = dataclasses.replace(config.core, l1=l1)
+    config = config.replace(core=core)
+    tracker = LatencyTracker()
+    memory_system = MemorySystem(
+        num_sms=config.num_sms,
+        mapping=config.mapping,
+        icnt_config=config.interconnect,
+        partition_config=config.partition,
+        tracker=tracker,
+    )
+    unit = LoadStoreUnit(0, config.core, memory_system, tracker)
+    return unit, memory_system, tracker, config
+
+
+def make_load_instruction():
+    builder = KernelBuilder("ld")
+    dst = builder.reg()
+    addr = builder.reg()
+    builder.ld_global(dst, addr)
+    return builder.build()[0]
+
+
+def make_store_instruction():
+    builder = KernelBuilder("st")
+    addr = builder.reg()
+    builder.st_global(addr, addr)
+    return builder.build()[0]
+
+
+class FakeWarp:
+    """Minimal stand-in for a Warp (only the fields the LD/ST unit touches)."""
+
+    def __init__(self, warp_id=0):
+        self.warp_id = warp_id
+        self.done = False
+
+
+def lane_addresses(base, count=32, stride=4):
+    return np.array([base + lane * stride for lane in range(32)],
+                    dtype=np.float64), np.array([lane < count for lane in range(32)])
+
+
+def run_cycles(unit, memory_system, cycles, start=0):
+    for cycle in range(start, start + cycles):
+        memory_system.cycle(cycle)
+        unit.process_writebacks(cycle)
+        unit.cycle(cycle)
+    return start + cycles
+
+
+class TestCoalescing:
+    def test_consecutive_words_coalesce_to_one_line(self):
+        unit, _, _, _ = build_harness()
+        addresses, mask = lane_addresses(0x1000, count=32, stride=4)
+        token = unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, 0)
+        assert token.expected == 1
+
+    def test_strided_accesses_need_multiple_lines(self):
+        unit, _, _, _ = build_harness()
+        addresses, mask = lane_addresses(0x1000, count=32, stride=128)
+        token = unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, 0)
+        assert token.expected == 32
+
+    def test_masked_off_load_completes_quickly(self):
+        unit, memory_system, _, _ = build_harness()
+        addresses, _ = lane_addresses(0x1000)
+        mask = np.zeros(32, dtype=bool)
+        completed = []
+        unit.on_load_complete = lambda token, cycle: completed.append(cycle)
+        token = unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, 0)
+        assert token.expected == 1
+        run_cycles(unit, memory_system, 5)
+        assert completed
+
+    def test_capacity_limit(self):
+        unit, _, _, config = build_harness()
+        addresses, mask = lane_addresses(0x1000)
+        for _ in range(config.core.ldst_queue_size):
+            assert unit.can_accept()
+            unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, 0)
+        assert not unit.can_accept()
+
+
+class TestL1Behaviour:
+    def test_miss_then_hit(self):
+        unit, memory_system, tracker, _ = build_harness()
+        addresses, mask = lane_addresses(0x2000, count=32, stride=4)
+        completed = []
+        unit.on_load_complete = lambda token, cycle: completed.append((token, cycle))
+        first = unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, 0)
+        now = run_cycles(unit, memory_system, 300)
+        assert first.finished and not first.all_l1_hits
+        second = unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, now)
+        run_cycles(unit, memory_system, 60, start=now)
+        assert second.finished and second.all_l1_hits
+        miss_latency = completed[0][1] - first.issue_cycle
+        hit_latency = completed[1][1] - second.issue_cycle
+        assert hit_latency < miss_latency
+
+    def test_l1_disabled_never_hits(self):
+        unit, memory_system, _, _ = build_harness(l1_enabled=False)
+        addresses, mask = lane_addresses(0x2000, count=32, stride=4)
+        first = unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, 0)
+        now = run_cycles(unit, memory_system, 300)
+        second = unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, now)
+        run_cycles(unit, memory_system, 300, start=now)
+        assert first.finished and second.finished
+        assert not second.all_l1_hits
+
+    def test_global_bypass_still_caches_local(self):
+        unit, memory_system, _, _ = build_harness(cache_global=False)
+        builder = KernelBuilder("ldl")
+        dst, addr = builder.reg(), builder.reg()
+        builder.ld_local(dst, addr)
+        builder.local_alloc(4)
+        local_load = builder.build()[0]
+        addresses, mask = lane_addresses(0x2000, count=32, stride=4)
+        first = unit.issue(FakeWarp(), local_load, addresses, mask, 0)
+        now = run_cycles(unit, memory_system, 300)
+        second = unit.issue(FakeWarp(), local_load, addresses, mask, now)
+        run_cycles(unit, memory_system, 60, start=now)
+        assert second.all_l1_hits
+        # A global load to the same line must not have been cached.
+        third = unit.issue(FakeWarp(), make_load_instruction(), addresses, mask,
+                           now + 60)
+        run_cycles(unit, memory_system, 300, start=now + 60)
+        assert third.finished and not third.all_l1_hits
+
+    def test_mshr_merges_loads_to_same_line(self):
+        unit, memory_system, tracker, _ = build_harness()
+        addresses, mask = lane_addresses(0x3000, count=32, stride=4)
+        first = unit.issue(FakeWarp(0), make_load_instruction(), addresses, mask, 0)
+        second = unit.issue(FakeWarp(1), make_load_instruction(), addresses, mask, 0)
+        run_cycles(unit, memory_system, 300)
+        assert first.finished and second.finished
+        assert unit.stats["mshr_merges"] >= 1
+        # Only one request went to the memory system.
+        assert memory_system.stats["requests_injected"] == 1
+
+    def test_store_invalidates_l1_line(self):
+        unit, memory_system, _, _ = build_harness()
+        addresses, mask = lane_addresses(0x4000, count=32, stride=4)
+        load = unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, 0)
+        now = run_cycles(unit, memory_system, 300)
+        assert load.finished
+        assert unit.l1.probe(0x4000)
+        unit.issue(FakeWarp(), make_store_instruction(), addresses, mask, now)
+        run_cycles(unit, memory_system, 20, start=now)
+        assert not unit.l1.probe(0x4000)
+
+
+def make_shared_load(shared_bytes=4096):
+    builder = KernelBuilder("lds")
+    dst, addr = builder.reg(), builder.reg()
+    builder.shared_alloc(shared_bytes)
+    builder.ld_shared(dst, addr)
+    return builder.build()[0]
+
+
+class TestSharedMemoryTiming:
+    def test_conflict_free_access(self):
+        unit, memory_system, _, config = build_harness()
+        instruction = make_shared_load()
+        addresses = np.arange(32, dtype=np.float64) * 4
+        mask = np.ones(32, dtype=bool)
+        completed = []
+        unit.on_load_complete = lambda token, cycle: completed.append(cycle)
+        unit.issue(FakeWarp(), instruction, addresses, mask, 0)
+        run_cycles(unit, memory_system, 40)
+        assert completed
+        assert completed[0] == config.core.shared_latency
+        assert unit.stats["shared_bank_conflict_cycles"] == 0
+
+    def test_bank_conflicts_add_latency(self):
+        unit, memory_system, _, config = build_harness()
+        instruction = make_shared_load(16 * 1024)
+        # All 32 lanes hit the same bank (stride of 32 words).
+        addresses = np.arange(32, dtype=np.float64) * 4 * config.core.shared_banks
+        mask = np.ones(32, dtype=bool)
+        completed = []
+        unit.on_load_complete = lambda token, cycle: completed.append(cycle)
+        unit.issue(FakeWarp(), instruction, addresses, mask, 0)
+        run_cycles(unit, memory_system, 80)
+        assert completed
+        assert completed[0] == config.core.shared_latency + 31
+        assert unit.stats["shared_bank_conflict_cycles"] == 31
+
+
+class TestEventRecording:
+    def test_miss_records_full_event_sequence(self):
+        unit, memory_system, tracker, _ = build_harness()
+        addresses, mask = lane_addresses(0x5000, count=32, stride=4)
+        unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, 0)
+        run_cycles(unit, memory_system, 300)
+        records = tracker.read_requests()
+        assert len(records) == 1
+        timestamps = records[0].timestamps
+        for event in (Event.ISSUE, Event.L1_ACCESS, Event.ICNT_INJECT,
+                      Event.ROP_ARRIVE, Event.L2Q_ARRIVE, Event.COMPLETE):
+            assert event in timestamps
+        ordered = [timestamps[event] for event in timestamps]
+        assert ordered == sorted(ordered)
+
+    def test_hit_records_short_sequence(self):
+        unit, memory_system, tracker, _ = build_harness()
+        addresses, mask = lane_addresses(0x6000, count=32, stride=4)
+        unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, 0)
+        now = run_cycles(unit, memory_system, 300)
+        unit.issue(FakeWarp(), make_load_instruction(), addresses, mask, now)
+        run_cycles(unit, memory_system, 60, start=now)
+        hit_record = tracker.read_requests()[-1]
+        assert Event.ICNT_INJECT not in hit_record.timestamps
+        assert hit_record.latency < 60
+
+    def test_load_records_written(self):
+        unit, memory_system, tracker, _ = build_harness()
+        addresses, mask = lane_addresses(0x7000, count=32, stride=4)
+        unit.issue(FakeWarp(3), make_load_instruction(), addresses, mask, 0)
+        run_cycles(unit, memory_system, 300)
+        assert len(tracker.loads) == 1
+        record = tracker.loads[0]
+        assert record.warp_id == 3
+        assert record.num_requests == 1
+        assert record.latency > 0

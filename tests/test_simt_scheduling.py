@@ -1,0 +1,173 @@
+"""Unit tests for the scoreboard, warp schedulers, and warp state."""
+
+import numpy as np
+import pytest
+
+from repro.isa import KernelBuilder
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CmpOp, Opcode
+from repro.isa.operands import Pred, Reg
+from repro.simt.scheduler import (
+    GreedyThenOldestScheduler,
+    LooseRoundRobinScheduler,
+    available_warp_schedulers,
+    create_warp_scheduler,
+)
+from repro.simt.scoreboard import Scoreboard
+from repro.simt.warp import Warp
+from repro.utils.errors import ConfigurationError, SimulationError
+
+
+def simple_program():
+    builder = KernelBuilder("noop")
+    builder.nop()
+    return builder.build()
+
+
+def make_warp(warp_id=0, valid_lanes=32):
+    valid = np.zeros(32, dtype=bool)
+    valid[:valid_lanes] = True
+    return Warp(warp_id=warp_id, warp_in_cta=warp_id, cta_id=0, sm_id=0,
+                program=simple_program(), warp_size=32, valid_mask=valid)
+
+
+class TestScoreboard:
+    def test_reserve_creates_raw_hazard(self):
+        scoreboard = Scoreboard()
+        producer = Instruction(opcode=Opcode.IADD, dst=Reg(1),
+                               srcs=(Reg(0), Reg(0)))
+        consumer = Instruction(opcode=Opcode.IADD, dst=Reg(2),
+                               srcs=(Reg(1), Reg(0)))
+        scoreboard.reserve(producer)
+        assert scoreboard.has_hazard(consumer)
+        scoreboard.release(producer)
+        assert not scoreboard.has_hazard(consumer)
+
+    def test_waw_hazard_detected(self):
+        scoreboard = Scoreboard()
+        first = Instruction(opcode=Opcode.MOV, dst=Reg(3), srcs=(Reg(0),))
+        second = Instruction(opcode=Opcode.MOV, dst=Reg(3), srcs=(Reg(1),))
+        scoreboard.reserve(first)
+        assert scoreboard.has_hazard(second)
+
+    def test_guard_predicate_creates_hazard(self):
+        scoreboard = Scoreboard()
+        setp = Instruction(opcode=Opcode.SETP, dst=Pred(0),
+                           srcs=(Reg(0), Reg(1)), cmp=CmpOp.EQ)
+        guarded = Instruction(opcode=Opcode.MOV, dst=Reg(2), srcs=(Reg(0),),
+                              guard=(Pred(0), False))
+        scoreboard.reserve(setp)
+        assert scoreboard.has_hazard(guarded)
+
+    def test_release_without_reserve_raises(self):
+        scoreboard = Scoreboard()
+        instruction = Instruction(opcode=Opcode.MOV, dst=Reg(0), srcs=(Reg(1),))
+        with pytest.raises(SimulationError):
+            scoreboard.release(instruction)
+
+    def test_pending_writes_and_clear(self):
+        scoreboard = Scoreboard()
+        scoreboard.reserve(Instruction(opcode=Opcode.MOV, dst=Reg(0),
+                                       srcs=(Reg(1),)))
+        scoreboard.reserve(Instruction(opcode=Opcode.SETP, dst=Pred(0),
+                                       srcs=(Reg(1), Reg(2)), cmp=CmpOp.EQ))
+        assert scoreboard.pending_writes() == 2
+        scoreboard.clear()
+        assert scoreboard.pending_writes() == 0
+
+    def test_no_dest_instruction_never_reserves(self):
+        scoreboard = Scoreboard()
+        store = Instruction(opcode=Opcode.ST, srcs=(Reg(0), Reg(1)))
+        scoreboard.reserve(store)
+        assert scoreboard.pending_writes() == 0
+
+
+class TestWarpSchedulers:
+    def test_registry(self):
+        assert set(available_warp_schedulers()) == {"lrr", "gto"}
+        assert isinstance(create_warp_scheduler("lrr", 0),
+                          LooseRoundRobinScheduler)
+        assert isinstance(create_warp_scheduler("gto", 0),
+                          GreedyThenOldestScheduler)
+        with pytest.raises(ConfigurationError):
+            create_warp_scheduler("bogus", 0)
+
+    def test_empty_ready_list_returns_none(self):
+        assert LooseRoundRobinScheduler(0).select([], 0) is None
+        assert GreedyThenOldestScheduler(0).select([], 0) is None
+
+    def test_lrr_rotates_through_warps(self):
+        scheduler = LooseRoundRobinScheduler(0)
+        warps = [make_warp(warp_id) for warp_id in range(3)]
+        picked = []
+        for cycle in range(6):
+            warp = scheduler.select(warps, cycle)
+            scheduler.notify_issue(warp, cycle)
+            picked.append(warp.warp_id)
+        assert picked == [0, 1, 2, 0, 1, 2]
+
+    def test_lrr_skips_unready_warps(self):
+        scheduler = LooseRoundRobinScheduler(0)
+        warps = [make_warp(warp_id) for warp_id in range(3)]
+        scheduler.notify_issue(warps[0], 0)
+        warp = scheduler.select([warps[0], warps[2]], 1)
+        assert warp.warp_id == 2
+
+    def test_gto_sticks_with_greedy_warp(self):
+        scheduler = GreedyThenOldestScheduler(0)
+        warps = [make_warp(warp_id) for warp_id in range(3)]
+        first = scheduler.select(warps, 0)
+        scheduler.notify_issue(first, 0)
+        again = scheduler.select(warps, 1)
+        assert again is first
+
+    def test_gto_falls_back_to_oldest(self):
+        scheduler = GreedyThenOldestScheduler(0)
+        warps = [make_warp(warp_id) for warp_id in range(3)]
+        warps[0].launch_order = 5
+        warps[1].launch_order = 1
+        warps[2].launch_order = 9
+        scheduler.notify_issue(warps[2], 0)
+        # greedy warp (2) stalls; oldest by launch order is warp 1
+        warp = scheduler.select([warps[0], warps[1]], 1)
+        assert warp.warp_id == 1
+
+
+class TestWarpState:
+    def test_partial_warp_valid_mask(self):
+        warp = make_warp(valid_lanes=20)
+        assert warp.active_mask.sum() == 20
+        assert not warp.done
+
+    def test_empty_warp_is_done(self):
+        warp = make_warp(valid_lanes=0)
+        assert warp.done
+
+    def test_exit_lanes_progressively_finishes(self):
+        warp = make_warp(valid_lanes=32)
+        half = np.zeros(32, dtype=bool)
+        half[:16] = True
+        warp.exit_lanes(half)
+        assert not warp.done
+        assert warp.active_mask.sum() == 16
+        warp.exit_lanes(~half)
+        assert warp.done
+
+    def test_finish_retires_everything(self):
+        warp = make_warp()
+        warp.finish()
+        assert warp.done
+        assert warp.next_instruction() is None
+
+    def test_thread_indices_offset_by_warp_position(self):
+        warp = Warp(warp_id=3, warp_in_cta=2, cta_id=1, sm_id=0,
+                    program=simple_program(), warp_size=32,
+                    valid_mask=np.ones(32, dtype=bool))
+        tids = warp.thread_indices(block_dim=128)
+        assert tids[0] == 64
+        assert tids[31] == 95
+
+    def test_next_instruction_none_past_end(self):
+        warp = make_warp()
+        warp.stack.advance(100)
+        assert warp.next_instruction() is None

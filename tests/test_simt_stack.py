@@ -1,0 +1,156 @@
+"""Unit and property tests for the SIMT reconvergence stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt.simt_stack import SIMTStack
+from repro.utils.errors import SimulationError
+
+
+def mask(*lanes, size=8):
+    result = np.zeros(size, dtype=bool)
+    for lane in lanes:
+        result[lane] = True
+    return result
+
+
+def full_mask(size=8):
+    return np.ones(size, dtype=bool)
+
+
+class TestBasicControlFlow:
+    def test_initial_state(self):
+        stack = SIMTStack(full_mask())
+        assert stack.pc == 0
+        assert stack.depth == 1
+        assert stack.any_active()
+
+    def test_advance_moves_pc(self):
+        stack = SIMTStack(full_mask())
+        stack.advance(5)
+        assert stack.pc == 5
+
+    def test_uniform_taken_branch_jumps(self):
+        stack = SIMTStack(full_mask())
+        stack.branch(taken_mask=full_mask(), target=10, reconv=20,
+                     fallthrough_pc=1)
+        assert stack.pc == 10
+        assert stack.depth == 1
+
+    def test_uniform_not_taken_branch_falls_through(self):
+        stack = SIMTStack(full_mask())
+        stack.branch(taken_mask=mask(), target=10, reconv=20, fallthrough_pc=1)
+        assert stack.pc == 1
+        assert stack.depth == 1
+
+    def test_divergent_branch_executes_fallthrough_first(self):
+        stack = SIMTStack(full_mask())
+        taken = mask(0, 1, 2)
+        stack.branch(taken_mask=taken, target=10, reconv=20, fallthrough_pc=1)
+        assert stack.depth == 3
+        assert stack.pc == 1
+        assert np.array_equal(stack.active_mask, full_mask() & ~taken)
+
+    def test_reconvergence_restores_full_mask(self):
+        stack = SIMTStack(full_mask())
+        taken = mask(0, 1)
+        stack.branch(taken_mask=taken, target=10, reconv=20, fallthrough_pc=1)
+        stack.advance(20)                      # fall-through path reconverges
+        assert stack.pc == 10                  # taken path now active
+        assert np.array_equal(stack.active_mask, taken)
+        stack.advance(20)                      # taken path reconverges
+        assert stack.depth == 1
+        assert stack.pc == 20
+        assert np.array_equal(stack.active_mask, full_mask())
+
+    def test_taken_mask_must_be_subset_of_active(self):
+        stack = SIMTStack(mask(0, 1))
+        with pytest.raises(SimulationError):
+            stack.branch(taken_mask=mask(5), target=3, reconv=4,
+                         fallthrough_pc=1)
+
+    def test_divergent_branch_requires_reconvergence_pc(self):
+        stack = SIMTStack(full_mask())
+        with pytest.raises(SimulationError):
+            stack.branch(taken_mask=mask(0), target=3, reconv=None,
+                         fallthrough_pc=1)
+
+
+class TestLaneExit:
+    def test_kill_lanes_removes_from_all_entries(self):
+        stack = SIMTStack(full_mask())
+        stack.branch(taken_mask=mask(0, 1, 2), target=10, reconv=20,
+                     fallthrough_pc=1)
+        stack.kill_lanes(mask(3, 4, 5, 6, 7))
+        # The fall-through entry had lanes 3..7 and is now empty: it must be
+        # pruned, activating the taken path.
+        assert stack.pc == 10
+        assert np.array_equal(stack.active_mask, mask(0, 1, 2))
+
+    def test_kill_all_lanes_leaves_bottom_entry(self):
+        stack = SIMTStack(full_mask())
+        stack.kill_lanes(full_mask())
+        assert stack.depth == 1
+        assert not stack.any_active()
+
+
+class TestNestedDivergence:
+    def test_nested_if_reconverges_inside_out(self):
+        stack = SIMTStack(full_mask())
+        outer_taken = mask(0, 1, 2, 3)
+        stack.branch(taken_mask=outer_taken, target=10, reconv=30,
+                     fallthrough_pc=1)
+        # fall-through path (lanes 4..7) diverges again
+        inner_taken = mask(4, 5)
+        stack.branch(taken_mask=inner_taken, target=5, reconv=8,
+                     fallthrough_pc=2)
+        assert stack.depth == 5
+        stack.advance(8)          # inner fall-through reconverges
+        assert stack.pc == 5      # inner taken path
+        stack.advance(8)          # inner taken reconverges
+        assert stack.pc == 8
+        assert np.array_equal(stack.active_mask, full_mask() & ~outer_taken)
+        stack.advance(30)         # outer fall-through reconverges
+        assert stack.pc == 10
+        stack.advance(30)
+        assert stack.depth == 1
+        assert np.array_equal(stack.active_mask, full_mask())
+
+
+class TestStackProperties:
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=255),   # taken lanes bitmask
+        st.integers(min_value=1, max_value=30),    # target
+    ), min_size=1, max_size=10))
+    @settings(max_examples=60)
+    def test_active_mask_always_subset_of_initial(self, branches):
+        stack = SIMTStack(full_mask())
+        reconv = 40
+        for lanes_bits, target in branches:
+            taken = np.array([(lanes_bits >> lane) & 1 for lane in range(8)],
+                             dtype=bool)
+            taken &= stack.active_mask
+            before = stack.active_mask.copy()
+            stack.branch(taken_mask=taken, target=target, reconv=reconv,
+                         fallthrough_pc=stack.pc + 1)
+            # The newly active path can only ever be a subset of the lanes
+            # that were active before the branch.
+            assert not np.any(stack.active_mask & ~before)
+            assert np.all(stack.active_mask <= full_mask())
+            assert stack.any_active()
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40)
+    def test_reconvergence_always_restores_mask(self, lanes_bits):
+        initial = full_mask()
+        stack = SIMTStack(initial)
+        taken = np.array([(lanes_bits >> lane) & 1 for lane in range(8)],
+                         dtype=bool)
+        stack.branch(taken_mask=taken, target=10, reconv=20, fallthrough_pc=1)
+        for _ in range(4):
+            if stack.depth == 1:
+                break
+            stack.advance(20)
+        assert stack.depth == 1
+        assert np.array_equal(stack.active_mask, initial)

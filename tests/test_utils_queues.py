@@ -1,0 +1,128 @@
+"""Unit tests for the bounded FIFO queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.queues import BoundedQueue
+
+
+class TestBoundedQueueBasics:
+    def test_starts_empty(self):
+        queue = BoundedQueue(4)
+        assert queue.empty()
+        assert not queue.full()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_push_pop_fifo_order(self):
+        queue = BoundedQueue(4)
+        for value in (1, 2, 3):
+            queue.push(value)
+        assert [queue.pop(), queue.pop(), queue.pop()] == [1, 2, 3]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(-1)
+
+    def test_full_when_capacity_reached(self):
+        queue = BoundedQueue(2)
+        queue.push("a")
+        queue.push("b")
+        assert queue.full()
+
+    def test_push_into_full_queue_raises(self):
+        queue = BoundedQueue(1)
+        queue.push("a")
+        with pytest.raises(RuntimeError):
+            queue.push("b")
+
+    def test_try_push_reports_failure_and_counts_stall(self):
+        queue = BoundedQueue(1)
+        assert queue.try_push("a")
+        assert not queue.try_push("b")
+        assert queue.full_stall_cycles == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            BoundedQueue(1).pop()
+
+    def test_try_pop_returns_none_when_empty(self):
+        assert BoundedQueue(1).try_pop() is None
+
+    def test_peek_does_not_remove(self):
+        queue = BoundedQueue(2)
+        queue.push(10)
+        assert queue.peek() == 10
+        assert len(queue) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert BoundedQueue(2).peek() is None
+
+    def test_unbounded_queue_never_full(self):
+        queue = BoundedQueue(0)
+        for value in range(1000):
+            queue.push(value)
+        assert not queue.full()
+        assert queue.unbounded
+        assert queue.free_slots() > 1000
+
+    def test_free_slots(self):
+        queue = BoundedQueue(3)
+        queue.push(1)
+        assert queue.free_slots() == 2
+
+    def test_remove_specific_item(self):
+        queue = BoundedQueue(4)
+        for value in (1, 2, 3):
+            queue.push(value)
+        queue.remove(2)
+        assert list(queue) == [1, 3]
+
+    def test_clear(self):
+        queue = BoundedQueue(4)
+        queue.push(1)
+        queue.clear()
+        assert queue.empty()
+
+    def test_counters_track_traffic(self):
+        queue = BoundedQueue(4)
+        queue.push(1)
+        queue.push(2)
+        queue.pop()
+        assert queue.total_enqueued == 2
+        assert queue.total_dequeued == 1
+
+    def test_iteration_preserves_order(self):
+        queue = BoundedQueue(4)
+        for value in (5, 6, 7):
+            queue.push(value)
+        assert list(queue) == [5, 6, 7]
+
+
+class TestBoundedQueueProperties:
+    @given(st.lists(st.integers(), max_size=50))
+    def test_fifo_order_preserved(self, values):
+        queue = BoundedQueue(0)
+        for value in values:
+            queue.push(value)
+        drained = [queue.pop() for _ in range(len(queue))]
+        assert drained == values
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                    max_size=100), st.integers(min_value=1, max_value=8))
+    def test_length_never_exceeds_capacity(self, operations, capacity):
+        queue = BoundedQueue(capacity)
+        for operation in operations:
+            if operation == 0:
+                queue.try_push(object())
+            else:
+                queue.try_pop()
+            assert 0 <= len(queue) <= capacity
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=0, max_value=16))
+    def test_free_slots_plus_length_equals_capacity(self, capacity, pushes):
+        queue = BoundedQueue(capacity)
+        for _ in range(pushes):
+            queue.try_push(1)
+        assert queue.free_slots() + len(queue) == capacity

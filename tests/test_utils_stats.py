@@ -1,0 +1,62 @@
+"""Unit tests for the statistics counter collection."""
+
+from repro.utils.stats import StatCounters
+
+
+class TestStatCounters:
+    def test_default_value_is_zero(self):
+        stats = StatCounters()
+        assert stats["missing"] == 0
+        assert stats.get("missing", 5) == 5
+
+    def test_add_creates_and_increments(self):
+        stats = StatCounters()
+        stats.add("hits")
+        stats.add("hits", 2)
+        assert stats["hits"] == 3
+
+    def test_set_overwrites(self):
+        stats = StatCounters()
+        stats.add("value", 10)
+        stats.set("value", 3)
+        assert stats["value"] == 3
+
+    def test_contains(self):
+        stats = StatCounters()
+        stats.add("present")
+        assert "present" in stats
+        assert "absent" not in stats
+
+    def test_as_dict_applies_prefix(self):
+        stats = StatCounters(prefix="sm0")
+        stats.add("hits", 4)
+        assert stats.as_dict() == {"sm0.hits": 4}
+
+    def test_as_dict_without_prefix(self):
+        stats = StatCounters()
+        stats.add("hits", 4)
+        assert stats.as_dict() == {"hits": 4}
+
+    def test_merge_accumulates(self):
+        first = StatCounters()
+        first.add("hits", 1)
+        second = StatCounters()
+        second.add("hits", 2)
+        second.add("misses", 3)
+        first.merge(second.as_dict())
+        assert first["hits"] == 3
+        assert first["misses"] == 3
+
+    def test_iteration_is_sorted(self):
+        stats = StatCounters()
+        stats.add("zebra")
+        stats.add("alpha")
+        assert [name for name, _ in stats] == ["alpha", "zebra"]
+
+    def test_report_contains_all_counters(self):
+        stats = StatCounters(prefix="core")
+        stats.add("cycles", 100)
+        stats.add("ipc", 0.5)
+        report = stats.report()
+        assert "core.cycles = 100" in report
+        assert "core.ipc = 0.5" in report

@@ -1,0 +1,192 @@
+"""Workload tests: every bundled workload must verify on the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GPU
+from repro.workloads import (
+    BFSWorkload,
+    MatMulWorkload,
+    PointerChaseWorkload,
+    ReductionWorkload,
+    SpMVWorkload,
+    StencilWorkload,
+    VecAddWorkload,
+    available_workloads,
+    create_workload,
+    grid_graph,
+    random_graph,
+    reference_bfs,
+    setup_pointer_chain,
+)
+from repro.workloads.pointer_chase import build_local_chase_kernel
+from tests.conftest import make_fast_config
+
+
+@pytest.fixture
+def gpu():
+    return GPU(make_fast_config())
+
+
+class TestGraphGeneration:
+    def test_random_graph_shape(self):
+        graph = random_graph(100, avg_degree=5, seed=1)
+        assert graph.num_nodes == 100
+        assert graph.num_edges >= 100 * 5
+        assert graph.row_offsets[0] == 0
+        assert graph.row_offsets[-1] == graph.num_edges
+        assert (np.diff(graph.row_offsets) >= 0).all()
+        assert (graph.col_indices < 100).all()
+
+    def test_random_graph_connected_reaches_all_nodes(self):
+        graph = random_graph(200, avg_degree=2, seed=3, connected=True)
+        levels = reference_bfs(graph, 0)
+        assert (levels >= 0).all()
+
+    def test_random_graph_deterministic_by_seed(self):
+        first = random_graph(50, 4, seed=9)
+        second = random_graph(50, 4, seed=9)
+        assert np.array_equal(first.col_indices, second.col_indices)
+
+    def test_grid_graph_structure(self):
+        graph = grid_graph(4)
+        assert graph.num_nodes == 16
+        assert graph.degree(0) == 2          # corner
+        assert graph.degree(5) == 4          # interior
+        levels = reference_bfs(graph, 0)
+        assert levels[15] == 6               # manhattan distance
+
+    def test_reference_bfs_unreachable_marked(self):
+        graph = random_graph(10, avg_degree=0, seed=1, connected=False)
+        levels = reference_bfs(graph, 0)
+        assert levels[0] == 0
+        assert (levels[1:] == -1).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_graph(0)
+        with pytest.raises(ValueError):
+            grid_graph(0)
+
+
+class TestWorkloadRegistry:
+    def test_registry_contents(self):
+        names = available_workloads()
+        assert "bfs" in names and "vecadd" in names
+        assert len(names) == 7
+
+    def test_create_by_name(self):
+        workload = create_workload("vecadd", n=64)
+        assert isinstance(workload, VecAddWorkload)
+        assert workload.n == 64
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            create_workload("raytracer")
+
+
+class TestSimpleWorkloads:
+    def test_vecadd(self, gpu):
+        workload = VecAddWorkload(n=500, block_dim=64)
+        workload.run_verified(gpu)
+
+    def test_stencil(self, gpu):
+        workload = StencilWorkload(n=500, block_dim=64)
+        workload.run_verified(gpu)
+
+    def test_reduction(self, gpu):
+        workload = ReductionWorkload(n=1024, block_dim=64)
+        results = workload.run(gpu)
+        assert len(results) == 2
+        assert workload.verify(gpu)
+
+    def test_reduction_single_cta(self, gpu):
+        workload = ReductionWorkload(n=64, block_dim=64)
+        workload.run(gpu)
+        assert workload.verify(gpu)
+
+    def test_reduction_rejects_non_power_of_two_block(self):
+        with pytest.raises(Exception):
+            ReductionWorkload(n=128, block_dim=100)
+
+    def test_spmv(self, gpu):
+        workload = SpMVWorkload(num_rows=200, nnz_per_row=6, block_dim=64)
+        workload.run_verified(gpu)
+
+    def test_matmul(self, gpu):
+        workload = MatMulWorkload(n=12, block_dim=64)
+        workload.run_verified(gpu)
+
+    def test_workload_total_cycles_helper(self, gpu):
+        workload = VecAddWorkload(n=128, block_dim=64)
+        results = workload.run(gpu)
+        assert workload.total_cycles(results) == sum(r.cycles for r in results)
+
+
+class TestBFS:
+    def test_bfs_on_random_graph(self, gpu):
+        workload = BFSWorkload(num_nodes=300, avg_degree=5, block_dim=64)
+        results = workload.run(gpu)
+        assert workload.verify(gpu)
+        assert len(results) == workload.levels_run
+        assert workload.levels_run >= 2
+
+    def test_bfs_on_grid_graph(self, gpu):
+        graph = grid_graph(8)
+        workload = BFSWorkload(graph=graph, block_dim=64)
+        workload.run(gpu)
+        assert workload.verify(gpu)
+        levels = workload.device_levels(gpu)
+        assert levels[-1] == 14
+
+    def test_bfs_max_levels_limits_iterations(self, gpu):
+        workload = BFSWorkload(num_nodes=300, avg_degree=4, block_dim=64)
+        results = workload.run(gpu, max_levels=1)
+        assert len(results) == 1
+
+    def test_bfs_generates_memory_traffic(self, gpu):
+        workload = BFSWorkload(num_nodes=200, avg_degree=5, block_dim=64)
+        workload.run(gpu)
+        assert len(gpu.tracker.read_requests()) > 100
+        assert len(gpu.tracker.global_loads()) > 50
+
+
+class TestPointerChase:
+    def test_chain_setup_is_cyclic(self, gpu):
+        base, count = setup_pointer_chain(gpu, footprint_bytes=1024,
+                                          stride_bytes=128)
+        assert count == 8
+        pointer = base
+        visited = []
+        for _ in range(count):
+            visited.append(pointer)
+            pointer = int(gpu.global_memory.read_word(pointer))
+        assert pointer == base
+        assert len(set(visited)) == count
+
+    def test_chain_setup_validation(self, gpu):
+        with pytest.raises(Exception):
+            setup_pointer_chain(gpu, footprint_bytes=64, stride_bytes=128)
+        with pytest.raises(Exception):
+            setup_pointer_chain(gpu, footprint_bytes=1024, stride_bytes=3)
+
+    def test_global_chase_workload_verifies(self, gpu):
+        workload = PointerChaseWorkload(footprint_bytes=2048, stride_bytes=128,
+                                        n_accesses=64)
+        workload.run_verified(gpu)
+
+    def test_chase_is_serialised(self, gpu):
+        # A dependent chain of N accesses must take at least N * L1-hit
+        # latency cycles.
+        workload = PointerChaseWorkload(footprint_bytes=1024, stride_bytes=128,
+                                        n_accesses=64)
+        results = workload.run(gpu)
+        config = gpu.config
+        minimum = 64 * (config.core.l1.hit_latency)
+        assert results[0].cycles > minimum
+
+    def test_local_chase_kernel_builds(self):
+        program = build_local_chase_kernel(2048)
+        assert program.local_bytes == 2048
+        assert program.param_names == ("stride", "n_elements", "n_accesses",
+                                       "sink")
