@@ -12,8 +12,8 @@ import pathlib
 
 import pytest
 
-from repro.gpu import GPU, fermi_gf100
-from repro.workloads import BFSWorkload
+from repro.experiments import Experiment, Session
+from repro.gpu import fermi_gf100
 
 #: Where benchmark output tables are written.
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -43,13 +43,20 @@ def sum_stat(stats: dict, suffix: str) -> float:
 
 
 def run_bfs(config, num_nodes: int, avg_degree: int, seed: int = 13):
-    """Run BFS to completion on a fresh GPU; returns (gpu, workload, results)."""
-    gpu = GPU(config)
-    workload = BFSWorkload(num_nodes=num_nodes, avg_degree=avg_degree,
-                           block_dim=128, seed=seed)
-    results = workload.run(gpu)
-    assert workload.verify(gpu), "BFS verification failed"
-    return gpu, workload, results
+    """Run BFS to completion on a fresh GPU; returns (gpu, workload, results).
+
+    The run goes through the experiment layer: the (possibly ablated)
+    configuration becomes a session-local config and the BFS run one
+    declarative experiment, so benchmarks exercise the same orchestration
+    path as the CLI and the examples.  Verification happens inside the
+    session (a failure raises).
+    """
+    session = Session(cache=False)
+    name = session.add_config(config)
+    record = session.run(Experiment.dynamic(
+        name, "bfs", num_nodes=num_nodes, avg_degree=avg_degree,
+        block_dim=128, seed=seed))
+    return record.gpu, record.workload, record.results
 
 
 @pytest.fixture(scope="session")

@@ -17,10 +17,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro import GPU, BFSWorkload, fermi_gf100
+from repro import Experiment, Session
 from repro.analysis import breakdown_chart, exposure_chart
-from repro.core.breakdown import breakdown_from_tracker
-from repro.core.exposure import compute_exposure
 from repro.core.stages import STAGE_ORDER
 
 
@@ -34,21 +32,23 @@ def main() -> None:
                         help="number of latency buckets to report")
     args = parser.parse_args()
 
-    gpu = GPU(fermi_gf100())
-    bfs = BFSWorkload(num_nodes=args.nodes, avg_degree=args.degree,
-                      block_dim=128)
-    print(f"running BFS over {bfs.graph.num_nodes} nodes / "
-          f"{bfs.graph.num_edges} edges on {gpu.config.name!r} ...")
-    results = bfs.run(gpu)
-    assert bfs.verify(gpu), "BFS produced wrong levels"
-    print(f"finished in {bfs.levels_run} level-synchronous steps, "
-          f"{sum(r.cycles for r in results)} cycles total")
+    session = Session()
+    experiment = Experiment.dynamic("gf100", "bfs", num_nodes=args.nodes,
+                                    avg_degree=args.degree, block_dim=128,
+                                    buckets=args.buckets)
+    print(f"running: {experiment.describe()} ...")
+    record = session.run(experiment)
+    bfs = record.workload
+    print(f"BFS over {bfs.graph.num_nodes} nodes / {bfs.graph.num_edges} "
+          f"edges finished in {bfs.levels_run} level-synchronous steps, "
+          f"{record.total_cycles} cycles total "
+          f"({len(record.launches)} launches)")
     print()
 
     print("=" * 72)
     print("Figure 1: breakdown of memory-fetch latency into pipeline stages")
     print("=" * 72)
-    figure1 = breakdown_from_tracker(gpu.tracker, num_buckets=args.buckets)
+    figure1 = record.breakdown
     print(f"tracked fetches: {figure1.total_requests}")
     print()
     print(figure1.format_table())
@@ -64,7 +64,7 @@ def main() -> None:
     print("=" * 72)
     print("Figure 2: exposed vs hidden global-load latency")
     print("=" * 72)
-    figure2 = compute_exposure(gpu.tracker, num_buckets=args.buckets)
+    figure2 = record.exposure
     print(f"global loads tracked: {figure2.total_loads}")
     print(f"overall exposed fraction: {figure2.overall_exposed_fraction:.3f}")
     print("loads with more than half their latency exposed: "

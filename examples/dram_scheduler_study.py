@@ -17,22 +17,24 @@ from __future__ import annotations
 import argparse
 import dataclasses
 
-from repro import GPU, BFSWorkload, fermi_gf100
+from repro import Experiment, Session, fermi_gf100
 from repro.analysis import comparison_table
-from repro.core.exposure import compute_exposure
 
 
 def run_bfs(config, nodes, degree):
-    gpu = GPU(config)
-    bfs = BFSWorkload(num_nodes=nodes, avg_degree=degree, block_dim=128)
-    results = bfs.run(gpu)
-    assert bfs.verify(gpu)
-    loads = gpu.tracker.global_loads()
-    exposure = compute_exposure(gpu.tracker, num_buckets=16)
+    # Each variant is a session-local configuration: the ablation never
+    # touches the global registry, and the run itself is one declarative
+    # experiment.
+    session = Session()
+    session.add_config(config, name="variant")
+    record = session.run(Experiment.dynamic(
+        "variant", "bfs", num_nodes=nodes, avg_degree=degree,
+        block_dim=128, buckets=16))
+    loads = record.tracker.global_loads()
     return {
-        "cycles": sum(r.cycles for r in results),
+        "cycles": record.total_cycles,
         "mean load latency": round(sum(l.latency for l in loads) / len(loads), 1),
-        "exposed fraction": round(exposure.overall_exposed_fraction, 3),
+        "exposed fraction": round(record.exposure.overall_exposed_fraction, 3),
     }
 
 

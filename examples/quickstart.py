@@ -1,12 +1,14 @@
-"""Quickstart: build a kernel, run it on a simulated GPU, inspect latencies.
+"""Quickstart: declare experiments, run them through a Session.
 
-This example walks through the three things the library does:
+This example walks through the three things the experiment layer does:
 
-1. write a small SIMT kernel with :class:`repro.isa.KernelBuilder`,
-2. execute it on a cycle-level GPU model (here: the Fermi GF100-like
-   configuration the paper uses for its dynamic analysis), and
-3. look at the latency instrumentation that the paper's analyses are
-   built on.
+1. run one of the paper's analyses from a declarative
+   :class:`repro.Experiment` spec (here: the Figure 1/2 dynamic analysis
+   of vector addition on the Fermi GF100-like configuration),
+2. plug a custom kernel into the workload registry and run it through the
+   exact same API, and
+3. persist results as JSON (and get repeated runs for free from the
+   session cache).
 
 Run with::
 
@@ -17,7 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import GPU, KernelBuilder, fermi_gf100
+from repro import Experiment, Session, Workload, register_workload
+from repro.isa import KernelBuilder
+from repro.workloads import LaunchSpec, unregister_workload
 
 
 def build_saxpy_kernel():
@@ -47,50 +51,76 @@ def build_saxpy_kernel():
     return builder.build()
 
 
+@register_workload
+class SaxpyWorkload(Workload):
+    """SAXPY over ``n`` elements (quickstart's custom workload)."""
+
+    name = "saxpy"
+
+    def __init__(self, n: int = 8192, a: float = 2.5, block_dim: int = 128,
+                 seed: int = 0) -> None:
+        super().__init__()
+        self.n = n
+        self.a = a
+        self.block_dim = block_dim
+        self.seed = seed
+        self._y_dev = 0
+        self._expected = np.zeros(0)
+
+    def build_program(self):
+        return build_saxpy_kernel()
+
+    def prepare(self, gpu) -> LaunchSpec:
+        rng = np.random.default_rng(self.seed)
+        x_host = rng.integers(0, 100, self.n).astype(np.float64)
+        y_host = rng.integers(0, 100, self.n).astype(np.float64)
+        self._expected = self.a * x_host + y_host
+        x_dev = gpu.allocate(4 * self.n, name="saxpy.x")
+        self._y_dev = gpu.allocate(4 * self.n, name="saxpy.y")
+        gpu.global_memory.store_array(x_dev, x_host)
+        gpu.global_memory.store_array(self._y_dev, y_host)
+        return LaunchSpec(
+            grid_dim=-(-self.n // self.block_dim),
+            block_dim=self.block_dim,
+            params={"n": self.n, "a": self.a, "x": x_dev, "y": self._y_dev},
+        )
+
+    def verify(self, gpu) -> bool:
+        produced = gpu.global_memory.load_array(self._y_dev, self.n)
+        return bool(np.allclose(produced, self._expected))
+
+
 def main() -> None:
-    program = build_saxpy_kernel()
-    print("Kernel listing:")
-    print(program.disassemble())
+    session = Session()
+
+    # 1. A built-in workload through the declarative API.  The session
+    #    owns GPU construction, verification, and the Figure 1/2 analyses.
+    experiment = Experiment.dynamic("gf100", "vecadd", n=4096, buckets=12)
+    print(f"running experiment: {experiment.describe()}")
+    record = session.run(experiment)
+    launch = record.launches[0]
+    print(f"cycles: {launch['cycles']}, warp instructions: "
+          f"{launch['instructions']}, IPC: {launch['ipc']:.3f}")
+    print(f"overall exposed fraction: "
+          f"{record.exposure.overall_exposed_fraction:.3f}")
     print()
 
-    # A GPU built from the GF100-like (Fermi) configuration: 4 SMs, L1 and
-    # L2 caches on the global path, FR-FCFS DRAM scheduling.
-    gpu = GPU(fermi_gf100())
-
-    n = 8192
-    a = 2.5
-    rng = np.random.default_rng(0)
-    x_host = rng.integers(0, 100, n).astype(np.float64)
-    y_host = rng.integers(0, 100, n).astype(np.float64)
-
-    x_dev = gpu.allocate(4 * n, name="x")
-    y_dev = gpu.allocate(4 * n, name="y")
-    gpu.global_memory.store_array(x_dev, x_host)
-    gpu.global_memory.store_array(y_dev, y_host)
-
-    result = gpu.launch(
-        program,
-        grid_dim=-(-n // 128),
-        block_dim=128,
-        params={"n": n, "a": a, "x": x_dev, "y": y_dev},
-    )
-
-    produced = gpu.global_memory.load_array(y_dev, n)
-    expected = a * x_host + y_host
-    print(f"correct: {np.allclose(produced, expected)}")
-    print(f"cycles: {result.cycles}, warp instructions: {result.instructions}, "
-          f"IPC: {result.ipc:.3f}")
+    # 2. The custom saxpy workload registered above runs through the very
+    #    same front door — no orchestration code, just a spec.
+    record = session.run(Experiment.dynamic("gf100", "saxpy", n=8192))
+    print(f"custom workload 'saxpy' verified on {record.gpu.config.name!r}")
+    print(f"correct: {record.payload['verified']}")
+    print(f"cycles: {record.total_cycles}, tracked fetches: "
+          f"{record.payload['breakdown']['total_requests']}")
     print()
 
-    # The latency instrumentation the paper's analyses use is always on:
-    summary = gpu.tracker.summary()
-    print("latency instrumentation summary:")
-    for key, value in summary.items():
-        print(f"  {key:24s} {value:.1f}")
-    reads = gpu.tracker.read_requests()
-    hits = sum(1 for r in reads if r.latency < 60)
-    print(f"  (of {len(reads)} tracked fetches, {hits} completed at L1-hit "
-          "latencies)")
+    # 3. Results persist as JSON, and reruns hit the session cache.
+    text = record.to_json()
+    session.run(Experiment.dynamic("gf100", "saxpy", n=8192))  # cache hit
+    print(f"run record serializes to {len(text)} bytes of JSON")
+    print(f"session cache: {session.cache_info()}")
+
+    unregister_workload("saxpy")  # leave the registry as we found it
 
 
 if __name__ == "__main__":

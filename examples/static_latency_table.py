@@ -18,10 +18,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core.hierarchy import infer_hierarchy
-from repro.core.pointer_chase import sweep_chase_latency
-from repro.core.static import reproduce_table_i
-from repro.gpu import get_config
+from repro import Experiment, Session
 
 
 def main() -> None:
@@ -33,28 +30,28 @@ def main() -> None:
                              "(default: gf106)")
     args = parser.parse_args()
     accesses = 128 if args.quick else 384
+    session = Session()
 
     print("=" * 72)
     print("Table I reproduction (values in hot-clock cycles; 'x' = level not")
     print("present on the global/local path of that generation)")
     print("=" * 72)
-    table = reproduce_table_i(measure_accesses=accesses)
-    print(table.format_table())
+    record = session.run(Experiment.static(accesses=accesses))
+    print(record.table.format_table())
     print()
 
-    config = get_config(args.sweep_config)
     print("=" * 72)
-    print(f"Footprint sweep and hierarchy inference on {config.name!r}")
+    print(f"Footprint sweep and hierarchy inference on {args.sweep_config!r}")
     print("=" * 72)
     footprints = [4 << 10, 8 << 10, 64 << 10, 96 << 10, 256 << 10, 384 << 10]
-    surface = sweep_chase_latency(config, footprints, strides=[128],
-                                  measure_accesses=accesses)
+    record = session.run(Experiment.sweep(args.sweep_config,
+                                          footprints=footprints, stride=128,
+                                          accesses=accesses))
     print(f"{'footprint':>12s} {'cycles/access':>14s}")
-    for footprint, latency in surface.curve(128):
+    for footprint, latency in record.surface.curve(128):
         print(f"{footprint:>12d} {latency:>14.1f}")
     print()
-    estimate = infer_hierarchy(surface, stride_bytes=128)
-    print(estimate.describe())
+    print(record.hierarchy.describe())
 
 
 if __name__ == "__main__":

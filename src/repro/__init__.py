@@ -10,22 +10,46 @@ paper's two analyses:
   exposed/hidden latency classification for real workloads, reproducing
   Figures 1 and 2.
 
-Typical usage::
+Typical usage goes through the experiment layer — describe *what* to run
+as a declarative :class:`~repro.experiments.Experiment` and hand it to a
+:class:`~repro.experiments.Session`, which owns GPU construction, the
+tracker lifecycle, result caching, and JSON persistence::
 
-    from repro import GPU, fermi_gf100, BFSWorkload
-    from repro.core import breakdown_from_tracker, compute_exposure
+    from repro import Experiment, Session
 
-    gpu = GPU(fermi_gf100())
-    bfs = BFSWorkload(num_nodes=2048)
-    bfs.run_verified(gpu)
-    figure1 = breakdown_from_tracker(gpu.tracker)
-    figure2 = compute_exposure(gpu.tracker)
+    session = Session()
+    record = session.run(Experiment.dynamic("gf100", "bfs",
+                                            num_nodes=2048, avg_degree=8))
+    print(record.breakdown.format_table())          # Figure 1
+    print(record.exposure.format_table())           # Figure 2
+    print(session.run(Experiment.static()).table.format_table())  # Table I
+
+Ablation grids expand declaratively and round-trip through JSON::
+
+    runs = session.run_many(Experiment.grid(
+        kind="dynamic", configs=["gf100", "gk104"], workloads=["bfs"],
+        params={"num_nodes": [1024, 2048]}))
+    runs.save("results.json")
+
+The simulator substrate (``GPU``, ``KernelBuilder``, the workload classes)
+remains available for custom kernels; new configurations and workloads
+plug in through :func:`register_config` and :func:`register_workload`.
 """
 
 from repro.core.breakdown import breakdown_from_tracker, compute_breakdown
 from repro.core.exposure import compute_exposure
 from repro.core.static import reproduce_table_i
 from repro.core.tracker import LatencyTracker
+from repro.experiments import (
+    Experiment,
+    RunRecord,
+    RunSet,
+    Session,
+    register_config,
+    register_workload,
+    unregister_config,
+    unregister_workload,
+)
 from repro.gpu import (
     GPU,
     GPUConfig,
@@ -52,10 +76,11 @@ from repro.workloads import (
     create_workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BFSWorkload",
+    "Experiment",
     "GPU",
     "GPUConfig",
     "KernelBuilder",
@@ -65,6 +90,9 @@ __all__ = [
     "PointerChaseWorkload",
     "Program",
     "ReductionWorkload",
+    "RunRecord",
+    "RunSet",
+    "Session",
     "SpMVWorkload",
     "StencilWorkload",
     "VecAddWorkload",
@@ -80,7 +108,11 @@ __all__ = [
     "get_config",
     "kepler_gk104",
     "maxwell_gm107",
+    "register_config",
+    "register_workload",
     "reproduce_table_i",
     "tesla_gt200",
+    "unregister_config",
+    "unregister_workload",
     "__version__",
 ]

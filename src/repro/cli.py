@@ -1,12 +1,16 @@
 """Command-line interface for the reproduction.
 
-The CLI exposes the paper's experiments without writing any Python:
+The CLI is a thin wrapper over the :mod:`repro.experiments` layer: every
+experiment subcommand builds a declarative
+:class:`~repro.experiments.Experiment` and hands it to a
+:class:`~repro.experiments.Session`, so the CLI, the Python API, and the
+benchmarks all exercise the same code path.
 
 ``repro configs``
-    List the built-in GPU configurations and their cache/latency headline
-    numbers.
+    List the registered GPU configurations and their cache/latency
+    headline numbers.
 ``repro workloads``
-    List the bundled workloads.
+    List the registered workloads.
 ``repro table1``
     Reproduce Table I (static L1/L2/DRAM latencies per generation).
 ``repro sweep``
@@ -14,10 +18,15 @@ The CLI exposes the paper's experiments without writing any Python:
     infer its memory hierarchy from the latency plateaus.
 ``repro dynamic``
     Run a workload on a configuration and print the Figure 1 latency
-    breakdown and the Figure 2 exposed/hidden analysis.
+    breakdown and the Figure 2 exposed/hidden analysis.  Workload
+    parameters pass through generically as ``--param key=value``.
+``repro run``
+    Execute experiment spec(s) from a JSON file (an object or an array)
+    and optionally persist the results as a JSON run set.
 
 Each subcommand prints plain text; pass ``--help`` to any of them for its
-options.
+options.  Experiment subcommands accept ``--output FILE`` to save their
+results as JSON (reloadable with ``repro.experiments.RunSet.load``).
 """
 
 from __future__ import annotations
@@ -27,14 +36,24 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import breakdown_chart, exposure_chart, format_table
-from repro.core.breakdown import breakdown_from_tracker
-from repro.core.exposure import compute_exposure
-from repro.core.hierarchy import infer_hierarchy
-from repro.core.pointer_chase import default_footprints, sweep_chase_latency
-from repro.core.static import reproduce_table_i
-from repro.gpu import GPU, available_configs, get_config
-from repro.gpu.configs import table_i_generations
-from repro.workloads import available_workloads, create_workload
+from repro.experiments import (
+    Experiment,
+    RunRecord,
+    RunSet,
+    Session,
+    parse_param_tokens,
+)
+from repro.gpu import available_configs, get_config
+from repro.utils.errors import ReproError
+from repro.workloads import WORKLOAD_REGISTRY, available_workloads
+
+
+def _write_output(args: argparse.Namespace, records: List[RunRecord]) -> None:
+    """Persist records as a canonical-JSON RunSet when --output was given."""
+    output = getattr(args, "output", None)
+    if output:
+        RunSet(records=records).save(output)
+        print(f"\nsaved {len(records)} run record(s) to {output}")
 
 
 def _cmd_configs(args: argparse.Namespace) -> int:
@@ -57,71 +76,107 @@ def _cmd_configs(args: argparse.Namespace) -> int:
         ["name", "SMs", "L1/SM", "L1 policy", "L2 total", "DRAM sched",
          "description"],
         rows,
-        title="Built-in GPU configurations",
+        title="Registered GPU configurations",
     ))
     return 0
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
-    rows = [[name, type(create_workload(name)).__doc__.strip().splitlines()[0]]
+    rows = [[name, WORKLOAD_REGISTRY.describe(name)]
             for name in available_workloads()]
     print(format_table(["name", "description"], rows,
-                       title="Bundled workloads"))
+                       title="Registered workloads"))
     return 0
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
-    names = args.configs or table_i_generations()
-    result = reproduce_table_i(config_names=names,
-                               measure_accesses=args.accesses)
-    print(result.format_table())
-    return 0
+def _print_static(record: RunRecord) -> None:
+    print(record.table.format_table())
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    config = get_config(args.config)
-    footprints = args.footprints or default_footprints(config)
-    surface = sweep_chase_latency(config, footprints, strides=[args.stride],
-                                  space=args.space,
-                                  measure_accesses=args.accesses)
+def _print_sweep(record: RunRecord, args: argparse.Namespace) -> None:
+    spec = record.experiment
+    stride = spec["params"].get("stride", 128)
     rows = [[footprint, f"{latency:.1f}"]
-            for footprint, latency in surface.curve(args.stride)]
+            for footprint, latency in record.surface.curve(stride)]
     print(format_table(["footprint (bytes)", "cycles / access"], rows,
-                       title=f"Pointer-chase sweep on {config.name!r} "
-                             f"({args.space} space, stride {args.stride})"))
+                       title=f"Pointer-chase sweep on {spec['configs'][0]!r} "
+                             f"({spec['params'].get('space', 'global')} "
+                             f"space, stride {stride})"))
     print()
-    print(infer_hierarchy(surface, stride_bytes=args.stride).describe())
-    return 0
+    print(record.hierarchy.describe())
 
 
-def _cmd_dynamic(args: argparse.Namespace) -> int:
-    config = get_config(args.config)
-    gpu = GPU(config)
-    workload_kwargs = {}
-    if args.workload == "bfs":
-        workload_kwargs = {"num_nodes": args.nodes, "avg_degree": args.degree}
-    workload = create_workload(args.workload, **workload_kwargs)
-    results = workload.run(gpu)
-    if not workload.verify(gpu):
-        print(f"error: workload {args.workload!r} failed verification",
-              file=sys.stderr)
-        return 1
-    print(f"{args.workload} on {config.name!r}: "
-          f"{sum(r.cycles for r in results)} cycles over "
-          f"{len(results)} launch(es)")
+def _print_dynamic(record: RunRecord) -> None:
+    spec = record.experiment
+    print(f"{spec['workload']} on {spec['configs'][0]!r}: "
+          f"{record.total_cycles} cycles over "
+          f"{len(record.launches)} launch(es)")
     print()
-    figure1 = breakdown_from_tracker(gpu.tracker, num_buckets=args.buckets)
+    figure1 = record.breakdown
     print("Figure 1 — latency breakdown per bucket:")
     print(figure1.format_table())
     print()
     print(breakdown_chart(figure1, width=50))
     print()
-    figure2 = compute_exposure(gpu.tracker, num_buckets=args.buckets)
+    figure2 = record.exposure
     print("Figure 2 — exposed vs hidden load latency:")
     print(f"overall exposed fraction: {figure2.overall_exposed_fraction:.3f}")
     print(figure2.format_table())
     print()
     print(exposure_chart(figure2, width=50))
+
+
+def _print_record(record: RunRecord, args: argparse.Namespace) -> None:
+    if record.kind == "static":
+        _print_static(record)
+    elif record.kind == "sweep":
+        _print_sweep(record, args)
+    else:
+        _print_dynamic(record)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    experiment = Experiment.static(configs=args.configs,
+                                   accesses=args.accesses,
+                                   stride=args.stride)
+    record = args.session.run(experiment)
+    _print_static(record)
+    _write_output(args, [record])
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    experiment = Experiment.sweep(args.config, stride=args.stride,
+                                  space=args.space, accesses=args.accesses,
+                                  footprints=args.footprints)
+    record = args.session.run(experiment)
+    _print_sweep(record, args)
+    _write_output(args, [record])
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    params = parse_param_tokens(args.param or [])
+    params.setdefault("buckets", args.buckets)
+    experiment = Experiment.dynamic(args.config, args.workload, **params)
+    record = args.session.run(experiment)
+    _print_dynamic(record)
+    _write_output(args, [record])
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.spec) as handle:
+        text = handle.read()
+    runs = args.session.run_json(text)
+    for index, record in enumerate(runs):
+        if index:
+            print()
+            print("=" * 72)
+        print(f"[{index + 1}/{len(runs)}] {record.summary()}")
+        print()
+        _print_record(record, args)
+    _write_output(args, list(runs))
     return 0
 
 
@@ -135,44 +190,59 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     configs = subparsers.add_parser("configs",
-                                    help="list built-in GPU configurations")
+                                    help="list registered GPU configurations")
     configs.set_defaults(func=_cmd_configs)
 
     workloads = subparsers.add_parser("workloads",
-                                      help="list bundled workloads")
+                                      help="list registered workloads")
     workloads.set_defaults(func=_cmd_workloads)
 
     table1 = subparsers.add_parser("table1",
                                    help="reproduce Table I (static latencies)")
-    table1.add_argument("--configs", nargs="*", choices=available_configs(),
+    table1.add_argument("--configs", nargs="*",
                         help="generations to measure (default: the paper's)")
     table1.add_argument("--accesses", type=int, default=256,
                         help="measured chain accesses per data point")
+    table1.add_argument("--stride", type=int, default=128,
+                        help="pointer-chase stride in bytes")
+    table1.add_argument("--output", help="save results as a JSON run set")
     table1.set_defaults(func=_cmd_table1)
 
     sweep = subparsers.add_parser("sweep",
                                   help="pointer-chase footprint sweep + "
                                        "hierarchy inference")
-    sweep.add_argument("--config", default="gf106", choices=available_configs())
+    sweep.add_argument("--config", default="gf106",
+                       help="configuration to sweep (see 'repro configs')")
     sweep.add_argument("--stride", type=int, default=128)
     sweep.add_argument("--space", default="global", choices=["global", "local"])
     sweep.add_argument("--accesses", type=int, default=192)
     sweep.add_argument("--footprints", nargs="*", type=int,
                        help="footprints in bytes (default: span the caches)")
+    sweep.add_argument("--output", help="save results as a JSON run set")
     sweep.set_defaults(func=_cmd_sweep)
 
     dynamic = subparsers.add_parser("dynamic",
                                     help="run a workload and print the "
                                          "Figure 1/2 analyses")
-    dynamic.add_argument("--config", default="gf100", choices=available_configs())
+    dynamic.add_argument("--config", default="gf100",
+                         help="configuration to run on (see 'repro configs')")
     dynamic.add_argument("--workload", default="bfs",
-                         choices=available_workloads())
-    dynamic.add_argument("--nodes", type=int, default=2048,
-                         help="BFS graph size")
-    dynamic.add_argument("--degree", type=int, default=8,
-                         help="BFS average degree")
+                         help="workload to run (see 'repro workloads')")
+    dynamic.add_argument("--param", action="append", metavar="KEY=VALUE",
+                         help="workload parameter, e.g. --param "
+                              "num_nodes=2048 (repeatable; unknown keys "
+                              "list the workload's valid parameters)")
     dynamic.add_argument("--buckets", type=int, default=24)
+    dynamic.add_argument("--output", help="save results as a JSON run set")
     dynamic.set_defaults(func=_cmd_dynamic)
+
+    run = subparsers.add_parser("run",
+                                help="run experiment spec(s) from a JSON "
+                                     "file")
+    run.add_argument("spec", help="path to a JSON experiment spec (one "
+                                  "object or an array of objects)")
+    run.add_argument("--output", help="save results as a JSON run set")
+    run.set_defaults(func=_cmd_run)
     return parser
 
 
@@ -180,7 +250,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    args.session = Session()
+    try:
+        return args.func(args)
+    except (ReproError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

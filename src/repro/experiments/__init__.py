@@ -1,0 +1,72 @@
+"""Unified experiment API: a declarative session/run layer over the simulator.
+
+This package is the front door of the reproduction.  Instead of
+hand-wiring ``GPU(config)`` + workload + tracker + analysis at every call
+site, callers describe *what* to run as a declarative, JSON
+round-trippable :class:`Experiment` and hand it to a :class:`Session`,
+which owns the orchestration and caches results::
+
+    from repro.experiments import Experiment, Session
+
+    session = Session()
+    record = session.run(Experiment.dynamic("gf100", "bfs",
+                                            num_nodes=2048, avg_degree=8))
+    print(record.breakdown.format_table())      # Figure 1
+    print(record.exposure.format_table())       # Figure 2
+    print(session.run(Experiment.static()).table.format_table())  # Table I
+
+Grid expansion (`Experiment.grid`) turns lists of configurations,
+workloads, and parameter values into the cartesian product of experiments
+for ablation studies, and :class:`RunSet` persists any collection of
+results as canonical JSON.  The configuration and workload registries
+(:func:`~repro.gpu.configs.register_config`,
+:func:`~repro.workloads.register_workload`) make both axes pluggable.
+"""
+
+from repro.experiments.results import (
+    RunRecord,
+    RunSet,
+    breakdown_to_dict,
+    exposure_to_dict,
+    launch_to_dict,
+    sweep_to_dict,
+    table_to_dict,
+)
+from repro.experiments.session import Session
+from repro.experiments.spec import (
+    EXPERIMENT_KINDS,
+    Experiment,
+    coerce_workload_params,
+    parse_param_token,
+    parse_param_tokens,
+    workload_param_spec,
+)
+from repro.gpu.configs import CONFIG_REGISTRY, register_config, unregister_config
+from repro.workloads import (
+    WORKLOAD_REGISTRY,
+    register_workload,
+    unregister_workload,
+)
+
+__all__ = [
+    "CONFIG_REGISTRY",
+    "EXPERIMENT_KINDS",
+    "Experiment",
+    "RunRecord",
+    "RunSet",
+    "Session",
+    "WORKLOAD_REGISTRY",
+    "breakdown_to_dict",
+    "coerce_workload_params",
+    "exposure_to_dict",
+    "launch_to_dict",
+    "parse_param_token",
+    "parse_param_tokens",
+    "register_config",
+    "register_workload",
+    "sweep_to_dict",
+    "table_to_dict",
+    "unregister_config",
+    "unregister_workload",
+    "workload_param_spec",
+]

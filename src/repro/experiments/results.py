@@ -1,0 +1,326 @@
+"""Result records for experiment runs.
+
+A :class:`RunRecord` is the persistent outcome of one experiment: the
+spec that produced it, per-launch statistics (with per-launch counter
+deltas), and a kind-specific JSON-native payload (the Table I rows, the
+sweep curve + inferred hierarchy, or the Figure 1/2 breakdown and
+exposure buckets).  A :class:`RunSet` is an ordered collection of records
+with canonical ``to_json``/``from_json`` that round-trips byte-identically.
+
+Records produced by a live :class:`~repro.experiments.session.Session`
+additionally carry in-memory *artifacts* — the rich analysis objects
+(``BreakdownResult``, ``ExposureResult``, ``TableIResult``, ...) and the
+GPU itself — which are deliberately not serialized; records rebuilt from
+JSON have an empty artifact dict.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.breakdown import BreakdownResult
+from repro.core.exposure import ExposureResult
+from repro.core.hierarchy import HierarchyEstimate
+from repro.core.pointer_chase import LatencySurface
+from repro.core.static import TABLE_I_LEVELS, TableIResult
+from repro.core.stages import STAGE_ORDER
+from repro.gpu.gpu import KernelResult
+from repro.utils.errors import ExperimentError
+
+
+# ----------------------------------------------------------------------
+# Payload serializers: rich analysis objects -> JSON-native dicts
+# ----------------------------------------------------------------------
+def launch_to_dict(result: KernelResult) -> Dict[str, Any]:
+    """Serialize one :class:`KernelResult` (stats are per-launch deltas)."""
+    return {
+        "kernel": result.kernel_name,
+        "cycles": result.cycles,
+        "start_cycle": result.start_cycle,
+        "end_cycle": result.end_cycle,
+        "instructions": result.instructions,
+        "ipc": result.ipc,
+        "stats": dict(result.stats),
+    }
+
+
+def breakdown_to_dict(breakdown: BreakdownResult) -> Dict[str, Any]:
+    """Serialize a Figure 1 breakdown (non-empty buckets only)."""
+    return {
+        "total_requests": breakdown.total_requests,
+        "min_latency": breakdown.min_latency,
+        "max_latency": breakdown.max_latency,
+        "stage_fractions": {
+            stage.value: fraction
+            for stage, fraction in breakdown.stage_fractions().items()
+        },
+        "buckets": [
+            {
+                "lower": bucket.lower,
+                "upper": bucket.upper,
+                "count": bucket.count,
+                "stage_cycles": {
+                    stage.value: bucket.stage_cycles[stage]
+                    for stage in STAGE_ORDER
+                },
+            }
+            for bucket in breakdown.non_empty_buckets()
+        ],
+    }
+
+
+def exposure_to_dict(exposure: ExposureResult) -> Dict[str, Any]:
+    """Serialize a Figure 2 exposure analysis (non-empty buckets only)."""
+    return {
+        "total_loads": exposure.total_loads,
+        "min_latency": exposure.min_latency,
+        "max_latency": exposure.max_latency,
+        "overall_exposed_fraction": exposure.overall_exposed_fraction,
+        "buckets": [
+            {
+                "lower": bucket.lower,
+                "upper": bucket.upper,
+                "count": bucket.count,
+                "exposed_cycles": bucket.exposed_cycles,
+                "hidden_cycles": bucket.hidden_cycles,
+            }
+            for bucket in exposure.non_empty_buckets()
+        ],
+    }
+
+
+def table_to_dict(table: TableIResult) -> Dict[str, Any]:
+    """Serialize a Table I reproduction."""
+    return {
+        "levels": list(TABLE_I_LEVELS),
+        "generations": [
+            {
+                "config": generation.config_name,
+                "label": generation.label,
+                "measured": dict(generation.measured),
+                "paper": dict(generation.paper),
+            }
+            for generation in table.generations
+        ],
+    }
+
+
+def sweep_to_dict(surface: LatencySurface,
+                  hierarchy: HierarchyEstimate) -> Dict[str, Any]:
+    """Serialize a footprint sweep and its inferred hierarchy."""
+    return {
+        "config": surface.config_name,
+        "space": surface.space,
+        "measurements": [
+            {
+                "footprint_bytes": m.footprint_bytes,
+                "stride_bytes": m.stride_bytes,
+                "cycles_per_access": m.cycles_per_access,
+            }
+            for m in surface.measurements
+        ],
+        "hierarchy": {
+            "stride_bytes": hierarchy.stride_bytes,
+            "levels": [
+                {
+                    "index": level.index,
+                    "latency": level.latency,
+                    "min_footprint": level.min_footprint,
+                    "max_footprint": level.max_footprint,
+                }
+                for level in hierarchy.levels
+            ],
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+@dataclass
+class RunRecord:
+    """The persistent outcome of one experiment run.
+
+    ``experiment`` is the producing spec as plain data, ``launches`` the
+    per-launch statistics (empty for microbenchmark kinds, which build
+    fresh GPUs per data point), and ``payload`` the kind-specific analysis
+    results.  ``artifacts`` holds live objects (``gpu``, ``workload``,
+    ``results``, ``breakdown``, ``exposure``, ``table``, ``surface``,
+    ``hierarchy``) and is never serialized.
+    """
+
+    experiment: Dict[str, Any]
+    kind: str
+    total_cycles: int = 0
+    launches: List[Dict[str, Any]] = field(default_factory=list)
+    payload: Dict[str, Any] = field(default_factory=dict)
+    artifacts: Dict[str, Any] = field(default_factory=dict, repr=False,
+                                      compare=False)
+
+    # -- live-object conveniences (None on records rebuilt from JSON) --
+    @property
+    def gpu(self):
+        """The GPU the run executed on (dynamic runs only)."""
+        return self.artifacts.get("gpu")
+
+    @property
+    def tracker(self):
+        """The latency tracker of the run's GPU (dynamic runs only)."""
+        gpu = self.gpu
+        return gpu.tracker if gpu is not None else None
+
+    @property
+    def workload(self):
+        """The live workload instance (dynamic runs only)."""
+        return self.artifacts.get("workload")
+
+    @property
+    def results(self) -> Optional[List[KernelResult]]:
+        """Per-launch :class:`KernelResult` objects (dynamic runs only)."""
+        return self.artifacts.get("results")
+
+    @property
+    def breakdown(self) -> Optional[BreakdownResult]:
+        """The Figure 1 analysis object (dynamic runs only)."""
+        return self.artifacts.get("breakdown")
+
+    @property
+    def exposure(self) -> Optional[ExposureResult]:
+        """The Figure 2 analysis object (dynamic runs only)."""
+        return self.artifacts.get("exposure")
+
+    @property
+    def table(self) -> Optional[TableIResult]:
+        """The Table I analysis object (static runs only)."""
+        return self.artifacts.get("table")
+
+    @property
+    def surface(self) -> Optional[LatencySurface]:
+        """The latency surface (sweep runs only)."""
+        return self.artifacts.get("surface")
+
+    @property
+    def hierarchy(self) -> Optional[HierarchyEstimate]:
+        """The inferred hierarchy (sweep runs only)."""
+        return self.artifacts.get("hierarchy")
+
+    # -- serialization --
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (artifacts excluded)."""
+        return {
+            "experiment": dict(self.experiment),
+            "kind": self.kind,
+            "total_cycles": self.total_cycles,
+            "launches": [dict(launch) for launch in self.launches],
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output (no artifacts)."""
+        return cls(
+            experiment=dict(data["experiment"]),
+            kind=data["kind"],
+            total_cycles=data.get("total_cycles", 0),
+            launches=[dict(launch) for launch in data.get("launches", [])],
+            payload=dict(data.get("payload", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON form (sorted keys, stable separators)."""
+        if indent is None:
+            return json.dumps(self.to_dict(), sort_keys=True,
+                              separators=(",", ":"))
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        """Rebuild a record from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the record."""
+        spec = self.experiment
+        head = f"{self.kind}"
+        if spec.get("configs"):
+            head += f" on {','.join(spec['configs'])}"
+        if spec.get("workload"):
+            head += f" workload={spec['workload']}"
+        if self.kind == "dynamic":
+            return (f"{head}: {self.total_cycles} cycles over "
+                    f"{len(self.launches)} launch(es)")
+        if self.kind == "sweep":
+            levels = self.payload.get("hierarchy", {}).get("levels", [])
+            return f"{head}: {len(levels)} hierarchy level(s) detected"
+        generations = self.payload.get("generations", [])
+        return f"{head}: {len(generations)} generation(s) measured"
+
+
+@dataclass
+class RunSet:
+    """An ordered collection of :class:`RunRecord` with JSON persistence."""
+
+    records: List[RunRecord] = field(default_factory=list)
+
+    def append(self, record: RunRecord) -> None:
+        """Add one record to the set."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> RunRecord:
+        return self.records[index]
+
+    def filter(self, **spec_fields: Any) -> "RunSet":
+        """Records whose experiment spec matches all given fields, e.g.
+        ``runs.filter(kind="dynamic", workload="bfs")``."""
+        selected = []
+        for record in self.records:
+            spec = dict(record.experiment)
+            spec["kind"] = record.kind
+            if all(spec.get(key) == value
+                   for key, value in spec_fields.items()):
+                selected.append(record)
+        return RunSet(records=selected)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form of the whole set."""
+        return {"records": [record.to_dict() for record in self.records]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSet":
+        """Rebuild a set from :meth:`to_dict` output."""
+        if "records" not in data:
+            raise ExperimentError("run set data needs a 'records' field")
+        return cls(records=[RunRecord.from_dict(record)
+                            for record in data["records"]])
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON form: ``from_json(s).to_json() == s``."""
+        if indent is None:
+            return json.dumps(self.to_dict(), sort_keys=True,
+                              separators=(",", ":"))
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSet":
+        """Rebuild a set from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the set to ``path`` as canonical JSON."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "RunSet":
+        """Read a set previously written with :meth:`save`."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())

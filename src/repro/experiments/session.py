@@ -1,0 +1,286 @@
+"""The Session facade: one programmatic front door over the simulator.
+
+A :class:`Session` owns everything the CLI, examples, and benchmarks used
+to hand-wire per call site: GPU construction from registered (or
+session-local) configurations, workload instantiation with validated
+parameters, tracker lifetime, the paper's three analyses, and a result
+cache keyed by the experiment's canonical spec so repeated runs are free.
+
+Typical usage::
+
+    from repro.experiments import Experiment, Session
+
+    session = Session()
+    table = session.run(Experiment.static())              # Table I
+    sweep = session.run(Experiment.sweep("gf106"))        # hierarchy
+    bfs = session.run(Experiment.dynamic(
+        "gf100", "bfs", num_nodes=2048, avg_degree=8))    # Figures 1/2
+    print(bfs.breakdown.format_table())
+    runs = session.run_many(Experiment.grid(
+        kind="dynamic", configs=["gf100", "gk104"], workloads=["bfs"],
+        params={"num_nodes": [512, 1024]}))
+    runs.to_json()                                        # persist
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
+
+from repro.core.breakdown import breakdown_from_tracker
+from repro.core.exposure import compute_exposure
+from repro.core.hierarchy import infer_hierarchy
+from repro.core.pointer_chase import default_footprints, sweep_chase_latency
+from repro.core.static import measure_generation, TableIResult
+from repro.experiments.results import (
+    RunRecord,
+    RunSet,
+    breakdown_to_dict,
+    exposure_to_dict,
+    launch_to_dict,
+    sweep_to_dict,
+    table_to_dict,
+)
+from repro.experiments.spec import (
+    KIND_PARAMS,
+    Experiment,
+    coerce_workload_params,
+    split_dynamic_params,
+)
+from repro.gpu import GPU, get_config, table_i_generations
+from repro.gpu.config import GPUConfig
+from repro.utils.errors import ExperimentError
+from repro.workloads import create_workload
+
+
+def _param(experiment: Experiment, name: str) -> Any:
+    """An experiment parameter, falling back to the kind's default."""
+    if name in experiment.params and experiment.params[name] is not None:
+        return experiment.params[name]
+    return KIND_PARAMS[experiment.kind][name][1]
+
+
+class Session:
+    """Facade that runs :class:`Experiment` specs and caches the results.
+
+    Parameters
+    ----------
+    cache:
+        When ``True`` (the default), results are memoized by the
+        experiment's canonical JSON spec, so running the same experiment
+        twice returns a :class:`RunRecord` without re-simulating.  Cached
+        records keep the analysis artifacts (``breakdown``, ``exposure``,
+        ``table``, ...) but drop the live simulator state (``gpu``,
+        ``workload``, ``results``) so a long session does not pin one
+        full GPU per distinct experiment; the record returned by the
+        *first* (miss) run carries everything.
+    configs:
+        Optional session-local configuration overrides: a mapping of name
+        to :class:`GPUConfig` consulted before the global registry.  Use
+        :meth:`add_config` to add ad-hoc variants (ablation studies).
+    """
+
+    def __init__(self, cache: bool = True,
+                 configs: Optional[Mapping[str, GPUConfig]] = None) -> None:
+        self.cache_enabled = cache
+        self._cache: Dict[str, RunRecord] = {}
+        self._local_configs: Dict[str, GPUConfig] = dict(configs or {})
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Session-local configurations
+    # ------------------------------------------------------------------
+    def add_config(self, config: GPUConfig,
+                   name: Optional[str] = None) -> str:
+        """Register ``config`` for this session only; returns its name.
+
+        Session-local configurations shadow same-named registry entries
+        for experiments run through this session, which makes ad-hoc
+        ablation variants (``config.replace(...)``) first-class without
+        touching the global registry.
+        """
+        resolved = name or config.name
+        self._local_configs[resolved] = config
+        return resolved
+
+    def resolve_config(self, name: str) -> GPUConfig:
+        """Session-local configuration if present, else the registry's."""
+        if name in self._local_configs:
+            return self._local_configs[name]
+        return get_config(name)
+
+    # ------------------------------------------------------------------
+    # Running experiments
+    # ------------------------------------------------------------------
+    def run(self, experiment: Union[Experiment, Mapping[str, Any]],
+            use_cache: bool = True) -> RunRecord:
+        """Run one experiment (spec object or plain dict) to a RunRecord."""
+        if not isinstance(experiment, Experiment):
+            experiment = Experiment.from_dict(experiment)
+        key = self._cache_key(experiment)
+        if self.cache_enabled and use_cache and key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+        self.cache_misses += 1
+        runner = {
+            "static": self._run_static,
+            "sweep": self._run_sweep,
+            "dynamic": self._run_dynamic,
+        }[experiment.kind]
+        record = runner(experiment)
+        if self.cache_enabled:
+            self._cache[key] = self._cacheable(record)
+        return record
+
+    def run_many(self, experiments: Iterable[Union[Experiment,
+                                                   Mapping[str, Any]]],
+                 use_cache: bool = True) -> RunSet:
+        """Run several experiments; returns their records as a RunSet."""
+        return RunSet(records=[self.run(experiment, use_cache=use_cache)
+                               for experiment in experiments])
+
+    def run_json(self, text: str, use_cache: bool = True) -> RunSet:
+        """Run experiment spec(s) from a JSON string (object or array)."""
+        import json
+
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ExperimentError(f"invalid experiment JSON: {exc}") from exc
+        if isinstance(data, Mapping):
+            data = [data]
+        if not isinstance(data, list):
+            raise ExperimentError(
+                "experiment JSON must be an object or an array of objects"
+            )
+        return self.run_many(data, use_cache=use_cache)
+
+    # ------------------------------------------------------------------
+    # Cache bookkeeping
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the session result cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all cached results (counters are kept)."""
+        self._cache.clear()
+
+    #: Artifact keys holding live simulator state.  These are dropped from
+    #: cached records so a session does not pin one full GPU (global-memory
+    #: backing store, tracker records, ...) per grid point; the analysis
+    #: objects and the JSON payload — what makes reruns free — are kept.
+    _HEAVY_ARTIFACTS = ("gpu", "workload", "results")
+
+    def _cacheable(self, record: RunRecord) -> RunRecord:
+        light = {key: value for key, value in record.artifacts.items()
+                 if key not in self._HEAVY_ARTIFACTS}
+        if len(light) == len(record.artifacts):
+            return record
+        return RunRecord(
+            experiment=record.experiment,
+            kind=record.kind,
+            total_cycles=record.total_cycles,
+            launches=record.launches,
+            payload=record.payload,
+            artifacts=light,
+        )
+
+    def _cache_key(self, experiment: Experiment) -> str:
+        key = experiment.cache_key()
+        # Session-local configs change what a name means, so their full
+        # (deterministic dataclass) repr joins the key.  A static
+        # experiment with no explicit configs resolves the Table I
+        # generations, so those names count too.
+        names = list(experiment.configs)
+        if experiment.kind == "static" and not names:
+            names = table_i_generations()
+        for name in names:
+            if name in self._local_configs:
+                key += f"|{name}={self._local_configs[name]!r}"
+        return key
+
+    # ------------------------------------------------------------------
+    # Kind-specific runners
+    # ------------------------------------------------------------------
+    def _run_static(self, experiment: Experiment) -> RunRecord:
+        names = list(experiment.configs) or table_i_generations()
+        stride = _param(experiment, "stride")
+        accesses = _param(experiment, "accesses")
+        table = TableIResult(generations=[
+            measure_generation(self.resolve_config(name),
+                               stride_bytes=stride,
+                               measure_accesses=accesses)
+            for name in names
+        ])
+        return RunRecord(
+            experiment=experiment.to_dict(),
+            kind="static",
+            payload=table_to_dict(table),
+            artifacts={"table": table},
+        )
+
+    def _run_sweep(self, experiment: Experiment) -> RunRecord:
+        config = self.resolve_config(experiment.configs[0])
+        stride = _param(experiment, "stride")
+        space = _param(experiment, "space")
+        accesses = _param(experiment, "accesses")
+        footprints = experiment.params.get("footprints")
+        if not footprints:
+            footprints = default_footprints(config)
+        surface = sweep_chase_latency(
+            config, footprints, strides=[stride], space=space,
+            measure_accesses=accesses,
+        )
+        hierarchy = infer_hierarchy(surface, stride_bytes=stride)
+        return RunRecord(
+            experiment=experiment.to_dict(),
+            kind="sweep",
+            payload=sweep_to_dict(surface, hierarchy),
+            artifacts={"surface": surface, "hierarchy": hierarchy},
+        )
+
+    def _run_dynamic(self, experiment: Experiment) -> RunRecord:
+        session_params, workload_params = split_dynamic_params(
+            experiment.params)
+        workload_kwargs = coerce_workload_params(experiment.workload,
+                                                 workload_params)
+        buckets = session_params.get(
+            "buckets", KIND_PARAMS["dynamic"]["buckets"][1])
+        verify = session_params.get(
+            "verify", KIND_PARAMS["dynamic"]["verify"][1])
+        config = self.resolve_config(experiment.configs[0])
+        gpu = GPU(config)
+        workload = create_workload(experiment.workload, **workload_kwargs)
+        results = workload.run(gpu)
+        if verify and not workload.verify(gpu):
+            raise ExperimentError(
+                f"workload {experiment.workload!r} failed verification on "
+                f"{config.name!r}"
+            )
+        breakdown = breakdown_from_tracker(gpu.tracker, num_buckets=buckets)
+        exposure = compute_exposure(gpu.tracker, num_buckets=buckets)
+        return RunRecord(
+            experiment=experiment.to_dict(),
+            kind="dynamic",
+            total_cycles=sum(result.cycles for result in results),
+            launches=[launch_to_dict(result) for result in results],
+            payload={
+                "config": config.name,
+                "workload": experiment.workload,
+                "verified": bool(verify),
+                "breakdown": breakdown_to_dict(breakdown),
+                "exposure": exposure_to_dict(exposure),
+            },
+            artifacts={
+                "gpu": gpu,
+                "workload": workload,
+                "results": results,
+                "breakdown": breakdown,
+                "exposure": exposure,
+            },
+        )

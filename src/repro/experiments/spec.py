@@ -1,0 +1,411 @@
+"""Declarative experiment specifications.
+
+An :class:`Experiment` names everything needed to reproduce one of the
+paper's analyses — which kind of analysis, on which GPU configuration(s),
+over which workload, with which parameters — as plain data that
+round-trips through JSON.  The three kinds map onto the paper:
+
+``static``
+    Table I: pointer-chase measurement of the per-generation L1/L2/DRAM
+    load latencies.  ``configs`` lists the generations (defaults to the
+    paper's four).
+``sweep``
+    Section II's footprint/stride sweep on a single configuration plus the
+    Wong-style plateau detection that infers the memory hierarchy.
+``dynamic``
+    Figures 1 and 2: run a workload on a configuration, then compute the
+    per-stage latency breakdown and the exposed/hidden split.  Workload
+    constructor parameters ride along in ``params`` and are validated
+    against the workload's signature.
+
+:meth:`Experiment.grid` expands lists of configs/workloads/parameter
+values into the cartesian product of experiments — the declarative form
+of an ablation study.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.errors import ExperimentError
+
+#: The supported experiment kinds.
+EXPERIMENT_KINDS: Tuple[str, ...] = ("static", "sweep", "dynamic")
+
+#: Session-level parameters accepted by each kind (name -> (type, default)).
+#: ``dynamic`` additionally accepts the chosen workload's constructor
+#: parameters, which are validated separately against its signature.
+KIND_PARAMS: Dict[str, Dict[str, Tuple[type, Any]]] = {
+    "static": {
+        "accesses": (int, 256),
+        "stride": (int, 128),
+    },
+    "sweep": {
+        "accesses": (int, 192),
+        "stride": (int, 128),
+        "space": (str, "global"),
+        "footprints": (list, None),
+    },
+    "dynamic": {
+        "buckets": (int, 24),
+        "verify": (bool, True),
+    },
+}
+
+
+def parse_param_token(token: str) -> Tuple[str, Any]:
+    """Parse one CLI ``key=value`` token into a (key, typed value) pair.
+
+    The value is coerced through JSON (so ``2048`` becomes an int, ``0.5``
+    a float, ``true`` a bool, ``[1,2]`` a list) and falls back to the raw
+    string for anything unquoted, e.g. ``--param space=global``.
+    """
+    if "=" not in token:
+        raise ExperimentError(
+            f"malformed parameter {token!r}; expected key=value"
+        )
+    key, _, raw = token.partition("=")
+    key = key.strip()
+    if not key:
+        raise ExperimentError(
+            f"malformed parameter {token!r}; expected key=value"
+        )
+    try:
+        value = json.loads(raw)
+    except ValueError:
+        value = raw
+    return key, value
+
+
+def parse_param_tokens(tokens: Iterable[str]) -> Dict[str, Any]:
+    """Parse a list of CLI ``key=value`` tokens into a params dict."""
+    return dict(parse_param_token(token) for token in tokens)
+
+
+def _coerce(name: str, value: Any, target: type) -> Any:
+    """Coerce ``value`` toward ``target`` type, erroring on nonsense."""
+    if target is bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        if isinstance(value, int):
+            return bool(value)
+    elif target is int:
+        if isinstance(value, bool):
+            raise ExperimentError(f"parameter {name!r} expects an integer")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, (float, str)):
+            try:
+                as_float = float(value)
+            except ValueError:
+                raise ExperimentError(
+                    f"parameter {name!r} expects an integer, got {value!r}"
+                ) from None
+            if as_float.is_integer():
+                return int(as_float)
+    elif target is float:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                pass
+    elif target is list:
+        if value is None or isinstance(value, list):
+            return value
+        if isinstance(value, (tuple, set)):
+            return list(value)
+        return [value]
+    elif target is str:
+        if isinstance(value, str):
+            return value
+    else:
+        return value
+    raise ExperimentError(
+        f"parameter {name!r} expects {target.__name__}, got {value!r}"
+    )
+
+
+def workload_param_spec(workload_name: str) -> Dict[str, Tuple[type, Any]]:
+    """Constructor parameters of a registered workload: name -> (type, default).
+
+    The parameter type is inferred from the default value (falling back to
+    no coercion for ``None`` defaults, such as BFS's optional ``graph``).
+    """
+    from repro.workloads import workload_class  # deferred: avoid cycle
+
+    signature = inspect.signature(workload_class(workload_name))
+    spec: Dict[str, Tuple[type, Any]] = {}
+    for name, parameter in signature.parameters.items():
+        if name == "self" or parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD
+        ):
+            continue
+        default = (parameter.default
+                   if parameter.default is not inspect.Parameter.empty
+                   else None)
+        target = type(default) if default is not None else object
+        spec[name] = (target, default)
+    return spec
+
+
+def coerce_workload_params(workload_name: str,
+                           params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate and coerce workload constructor parameters.
+
+    Unknown keys raise :class:`ExperimentError` listing the valid
+    parameter names; values are coerced to the type of the corresponding
+    default (so CLI strings like ``"2048"`` become ints).
+    """
+    spec = workload_param_spec(workload_name)
+    coerced: Dict[str, Any] = {}
+    for name, value in params.items():
+        if name not in spec:
+            raise ExperimentError(
+                f"unknown parameter {name!r} for workload "
+                f"{workload_name!r}; valid parameters: {sorted(spec)}"
+            )
+        target, _default = spec[name]
+        if target is object or value is None:
+            coerced[name] = value
+        else:
+            coerced[name] = _coerce(name, value, target)
+    return coerced
+
+
+def split_dynamic_params(
+    params: Mapping[str, Any]
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Split a dynamic experiment's params into (session, workload) dicts."""
+    session_spec = KIND_PARAMS["dynamic"]
+    session_params: Dict[str, Any] = {}
+    workload_params: Dict[str, Any] = {}
+    for name, value in params.items():
+        if name in session_spec:
+            target, _default = session_spec[name]
+            session_params[name] = _coerce(name, value, target)
+        else:
+            workload_params[name] = value
+    return session_params, workload_params
+
+
+def coerce_kind_params(kind: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate and coerce session-level params for ``static``/``sweep``."""
+    spec = KIND_PARAMS[kind]
+    coerced: Dict[str, Any] = {}
+    for name, value in params.items():
+        if name not in spec:
+            raise ExperimentError(
+                f"unknown parameter {name!r} for {kind!r} experiments; "
+                f"valid parameters: {sorted(spec)}"
+            )
+        target, _default = spec[name]
+        coerced[name] = value if value is None else _coerce(name, value, target)
+    return coerced
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One declarative, JSON round-trippable experiment specification.
+
+    Attributes
+    ----------
+    kind:
+        ``"static"``, ``"sweep"``, or ``"dynamic"``.
+    configs:
+        Registered GPU configuration names.  ``static`` accepts several
+        (one Table I column each, defaulting to the paper's four);
+        ``sweep`` and ``dynamic`` require exactly one.
+    workload:
+        Registered workload name (``dynamic`` only).
+    params:
+        Kind-specific parameters; for ``dynamic`` this also carries the
+        workload's constructor parameters.
+    label:
+        Optional free-form tag carried into the :class:`RunRecord`.
+    """
+
+    kind: str
+    configs: Tuple[str, ...] = ()
+    workload: Optional[str] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EXPERIMENT_KINDS:
+            raise ExperimentError(
+                f"unknown experiment kind {self.kind!r}; "
+                f"valid kinds: {list(EXPERIMENT_KINDS)}"
+            )
+        object.__setattr__(self, "configs", tuple(self.configs))
+        object.__setattr__(self, "params", dict(self.params))
+        if self.kind in ("sweep", "dynamic") and len(self.configs) != 1:
+            raise ExperimentError(
+                f"{self.kind!r} experiments need exactly one config, "
+                f"got {list(self.configs)}"
+            )
+        if self.kind == "dynamic" and not self.workload:
+            raise ExperimentError("'dynamic' experiments need a workload")
+        if self.kind != "dynamic" and self.workload is not None:
+            raise ExperimentError(
+                f"{self.kind!r} experiments take no workload"
+            )
+        if self.kind in ("static", "sweep"):
+            # Store the coerced values so the runners see e.g. "48" as 48
+            # and a scalar footprint as a one-element list.  Dynamic params
+            # are coerced at run time against the workload's signature,
+            # which may not be registered yet at spec-construction time.
+            object.__setattr__(
+                self, "params", coerce_kind_params(self.kind, self.params))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def static(cls, configs: Optional[Sequence[str]] = None,
+               label: Optional[str] = None, **params: Any) -> "Experiment":
+        """A Table I style static-latency experiment."""
+        return cls(kind="static", configs=tuple(configs or ()),
+                   params=params, label=label)
+
+    @classmethod
+    def sweep(cls, config: str, label: Optional[str] = None,
+              **params: Any) -> "Experiment":
+        """A footprint-sweep + hierarchy-inference experiment."""
+        return cls(kind="sweep", configs=(config,), params=params,
+                   label=label)
+
+    @classmethod
+    def dynamic(cls, config: str, workload: str,
+                label: Optional[str] = None, **params: Any) -> "Experiment":
+        """A Figure 1/2 style dynamic-analysis experiment."""
+        return cls(kind="dynamic", configs=(config,), workload=workload,
+                   params=params, label=label)
+
+    @classmethod
+    def grid(
+        cls,
+        kind: str = "dynamic",
+        configs: Sequence[str] = (),
+        workloads: Sequence[Optional[str]] = (None,),
+        params: Optional[Mapping[str, Any]] = None,
+        label: Optional[str] = None,
+    ) -> List["Experiment"]:
+        """Expand configs x workloads x parameter values into experiments.
+
+        Every value in ``params`` that is a list is treated as an axis to
+        sweep; scalars are held constant.  One experiment is produced per
+        point of the cartesian product — the declarative form of an
+        ablation study::
+
+            Experiment.grid(
+                kind="dynamic",
+                configs=["gf100", "gk104"],
+                workloads=["bfs"],
+                params={"num_nodes": [1024, 2048], "avg_degree": 8},
+            )   # -> 4 experiments
+
+        To hold a *list-valued* parameter constant (e.g. ``sweep``'s
+        ``footprints``), nest it one level — a single-point axis::
+
+            Experiment.grid(kind="sweep", configs=["gf106", "gk104"],
+                            params={"footprints": [[4096, 65536]]})
+            # -> 2 experiments, each sweeping both footprints
+
+        For ``sweep``/``dynamic`` kinds each config in ``configs`` becomes
+        its own experiment; for ``static`` too, so a static grid measures
+        one generation per record.
+        """
+        params = dict(params or {})
+        axes: List[Tuple[str, List[Any]]] = [
+            (name, value) for name, value in params.items()
+            if isinstance(value, list)
+        ]
+        constants = {name: value for name, value in params.items()
+                     if not isinstance(value, list)}
+        axis_names = [name for name, _ in axes]
+        axis_values = [values for _, values in axes]
+        experiments: List[Experiment] = []
+        config_list: Sequence[Optional[str]] = list(configs) or [None]
+        for config in config_list:
+            for workload in workloads:
+                for point in itertools.product(*axis_values) if axes else [()]:
+                    combined = dict(constants)
+                    combined.update(zip(axis_names, point))
+                    experiments.append(cls(
+                        kind=kind,
+                        configs=(config,) if config is not None else (),
+                        workload=workload,
+                        params=combined,
+                        label=label,
+                    ))
+        return experiments
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form of this experiment (JSON-native types only)."""
+        return {
+            "kind": self.kind,
+            "configs": list(self.configs),
+            "workload": self.workload,
+            "params": dict(self.params),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Experiment":
+        """Rebuild an experiment from :meth:`to_dict` output."""
+        unknown = set(data) - {"kind", "configs", "workload", "params",
+                               "label"}
+        if unknown:
+            raise ExperimentError(
+                f"unknown experiment fields {sorted(unknown)}"
+            )
+        if "kind" not in data:
+            raise ExperimentError("experiment spec needs a 'kind' field")
+        return cls(
+            kind=data["kind"],
+            configs=tuple(data.get("configs") or ()),
+            workload=data.get("workload"),
+            params=dict(data.get("params") or {}),
+            label=data.get("label"),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON form (sorted keys, stable separators)."""
+        if indent is None:
+            return json.dumps(self.to_dict(), sort_keys=True,
+                              separators=(",", ":"))
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Experiment":
+        """Rebuild an experiment from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def cache_key(self) -> str:
+        """Canonical string identity used for session result caching."""
+        return self.to_json()
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = [self.kind]
+        if self.configs:
+            parts.append("on " + ",".join(self.configs))
+        if self.workload:
+            parts.append(f"workload={self.workload}")
+        if self.params:
+            parts.append(" ".join(f"{k}={v}" for k, v in
+                                  sorted(self.params.items())))
+        if self.label:
+            parts.append(f"[{self.label}]")
+        return " ".join(parts)

@@ -2,31 +2,39 @@
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.configs import (
+    CONFIG_REGISTRY,
     GENERATION_LABELS,
     TABLE_I_TARGETS,
     available_configs,
+    config_description,
     fermi_gf100,
     fermi_gf106,
     get_config,
     kepler_gk104,
     maxwell_gm107,
+    register_config,
     table_i_generations,
     tesla_gt200,
+    unregister_config,
 )
 from repro.gpu.gpu import GPU, KernelResult
 
 __all__ = [
+    "CONFIG_REGISTRY",
     "GENERATION_LABELS",
     "GPU",
     "GPUConfig",
     "KernelResult",
     "TABLE_I_TARGETS",
     "available_configs",
+    "config_description",
     "fermi_gf100",
     "fermi_gf106",
     "get_config",
     "kepler_gk104",
     "maxwell_gm107",
+    "register_config",
     "table_i_generations",
     "tesla_gt200",
+    "unregister_config",
 ]

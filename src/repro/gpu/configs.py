@@ -34,7 +34,8 @@ from repro.memory.interconnect import InterconnectConfig
 from repro.memory.l2cache import L2SliceConfig
 from repro.memory.partition import PartitionConfig
 from repro.simt.coreconfig import CoreConfig, L1Config
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import ConfigurationError, RegistryError
+from repro.utils.registry import Registry
 
 #: Paper Table I, in hot-clock cycles.  ``None`` marks a level that does not
 #: exist on the global/local memory path of that generation.
@@ -137,6 +138,41 @@ def _build_config(
     )
 
 
+#: Open registry of GPU configuration factories.  Entries are zero-argument
+#: callables returning a fresh :class:`GPUConfig`; plugins add their own
+#: with :func:`register_config`.
+CONFIG_REGISTRY: Registry = Registry("GPU configuration")
+
+
+def register_config(factory=None, *, name=None, description=None,
+                    overwrite=False):
+    """Register a GPU configuration factory (decorator-friendly).
+
+    ``factory`` is a zero-argument callable returning a :class:`GPUConfig`.
+    A plain :class:`GPUConfig` instance may also be passed; it is wrapped in
+    a factory and keyed by its ``name`` field.  Registering an existing name
+    raises :class:`~repro.utils.errors.RegistryError` unless
+    ``overwrite=True``.
+    """
+    if isinstance(factory, GPUConfig):
+        config = factory
+        CONFIG_REGISTRY.register(
+            lambda: config, name=name or config.name,
+            description=description or config.description,
+            overwrite=overwrite,
+        )
+        return factory
+    return CONFIG_REGISTRY.register(factory, name=name,
+                                    description=description,
+                                    overwrite=overwrite)
+
+
+def unregister_config(name: str) -> None:
+    """Remove a configuration factory from the registry."""
+    CONFIG_REGISTRY.unregister(name)
+
+
+@register_config(name="gt200")
 def tesla_gt200() -> GPUConfig:
     """Tesla-generation configuration: uncached global/local accesses."""
     return _build_config(
@@ -156,6 +192,7 @@ def tesla_gt200() -> GPUConfig:
     )
 
 
+@register_config(name="gf106")
 def fermi_gf106() -> GPUConfig:
     """Fermi GF106-like configuration used for the static analysis."""
     return _build_config(
@@ -175,6 +212,7 @@ def fermi_gf106() -> GPUConfig:
     )
 
 
+@register_config(name="gf100")
 def fermi_gf100() -> GPUConfig:
     """Fermi GF100-like configuration used for the dynamic analysis."""
     config = _build_config(
@@ -198,6 +236,7 @@ def fermi_gf100() -> GPUConfig:
     return config
 
 
+@register_config(name="gk104")
 def kepler_gk104() -> GPUConfig:
     """Kepler GK104-like configuration: L1 serves local accesses only."""
     return _build_config(
@@ -217,6 +256,7 @@ def kepler_gk104() -> GPUConfig:
     )
 
 
+@register_config(name="gm107")
 def maxwell_gm107() -> GPUConfig:
     """Maxwell GM107-like configuration: no L1 on the global/local path."""
     return _build_config(
@@ -236,28 +276,25 @@ def maxwell_gm107() -> GPUConfig:
     )
 
 
-_CONFIG_FACTORIES = {
-    "gt200": tesla_gt200,
-    "gf106": fermi_gf106,
-    "gf100": fermi_gf100,
-    "gk104": kepler_gk104,
-    "gm107": maxwell_gm107,
-}
-
-
 def available_configs() -> List[str]:
-    """Names of all built-in configurations."""
-    return sorted(_CONFIG_FACTORIES)
+    """Names of all registered configurations."""
+    return CONFIG_REGISTRY.names()
 
 
 def get_config(name: str) -> GPUConfig:
-    """Instantiate a built-in configuration by name."""
+    """Instantiate a registered configuration by name."""
     try:
-        return _CONFIG_FACTORIES[name]()
-    except KeyError as exc:
+        factory = CONFIG_REGISTRY.get(name)
+    except RegistryError as exc:
         raise ConfigurationError(
             f"unknown GPU configuration {name!r}; available: {available_configs()}"
         ) from exc
+    return factory()
+
+
+def config_description(name: str) -> str:
+    """Description metadata of a registered configuration."""
+    return CONFIG_REGISTRY.describe(name)
 
 
 def table_i_generations() -> List[str]:

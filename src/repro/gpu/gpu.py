@@ -31,7 +31,9 @@ class KernelResult:
     instructions:
         Warp-level instructions issued during the launch.
     stats:
-        Aggregated counters from all SMs and the memory system.
+        Aggregated counters from all SMs and the memory system, as deltas
+        over this launch (counters snapshotted at launch start are
+        subtracted from the values at completion).
     """
 
     kernel_name: str
@@ -129,6 +131,7 @@ class GPU:
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
         start_cycle = self.cycle
         start_instructions = self._instructions_issued()
+        start_stats = self.collect_stats().as_dict()
         pending = list(range(grid_dim))
         self._assign_ctas(pending, launch)
         while True:
@@ -146,6 +149,7 @@ class GPU:
                 )
             self._advance_clock(issued)
         end_cycle = self.cycle
+        stats_delta = self._stats_delta(start_stats)
         self.cycle += 1
         return KernelResult(
             kernel_name=program.name,
@@ -153,7 +157,7 @@ class GPU:
             start_cycle=start_cycle,
             end_cycle=end_cycle,
             instructions=self._instructions_issued() - start_instructions,
-            stats=self.collect_stats().as_dict(),
+            stats=stats_delta,
         )
 
     # ------------------------------------------------------------------
@@ -188,6 +192,13 @@ class GPU:
                 "simulation deadlock: nothing issued and no pending events"
             )
         self.cycle = max(min(candidates), self.cycle + 1)
+
+    def _stats_delta(self, start_stats: Dict[str, float]) -> Dict[str, float]:
+        """Counter changes since ``start_stats`` (a prior stats snapshot)."""
+        return {
+            key: value - start_stats.get(key, 0)
+            for key, value in self.collect_stats().as_dict().items()
+        }
 
     def _instructions_issued(self) -> int:
         return int(

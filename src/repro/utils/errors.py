@@ -19,3 +19,18 @@ class AssemblyError(ReproError):
 
 class SimulationError(ReproError):
     """The timing or functional simulation reached an invalid state."""
+
+
+class RegistryError(ReproError, KeyError):
+    """A registry lookup, registration, or removal failed.
+
+    Derives from :class:`KeyError` as well so that callers using plain
+    mapping semantics (``create_workload("nope")``) keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return Exception.__str__(self)
+
+
+class ExperimentError(ReproError):
+    """An experiment specification is invalid or a run failed."""

@@ -1,7 +1,21 @@
-"""Workloads: the kernels the latency analyses run on, plus input generators."""
+"""Workloads: the kernels the latency analyses run on, plus input generators.
 
-from typing import Dict, List, Type
+Workloads live in an open :class:`~repro.utils.registry.Registry`: the
+bundled classes below are pre-registered, and user code adds its own with
+the :func:`register_workload` decorator::
 
+    from repro.workloads import register_workload
+    from repro.workloads.base import Workload
+
+    @register_workload
+    class MyKernel(Workload):
+        name = "mykernel"
+        ...
+"""
+
+from typing import List
+
+from repro.utils.registry import Registry
 from repro.workloads.base import LaunchSpec, Workload
 from repro.workloads.bfs import UNVISITED, BFSWorkload, build_bfs_kernel
 from repro.workloads.graphs import CSRGraph, grid_graph, random_graph, reference_bfs
@@ -18,32 +32,54 @@ from repro.workloads.spmv import SpMVWorkload, build_spmv_kernel
 from repro.workloads.stencil import StencilWorkload, build_stencil_kernel
 from repro.workloads.vecadd import VecAddWorkload, build_vecadd_kernel
 
-#: All bundled workload classes, keyed by their short name.
-WORKLOAD_REGISTRY: Dict[str, Type[Workload]] = {
-    BFSWorkload.name: BFSWorkload,
-    MatMulWorkload.name: MatMulWorkload,
-    PointerChaseWorkload.name: PointerChaseWorkload,
-    ReductionWorkload.name: ReductionWorkload,
-    SpMVWorkload.name: SpMVWorkload,
-    StencilWorkload.name: StencilWorkload,
-    VecAddWorkload.name: VecAddWorkload,
-}
+#: Open registry of workload classes, keyed by their short name.
+WORKLOAD_REGISTRY: Registry = Registry("workload")
+
+
+def register_workload(workload_cls=None, *, name=None, description=None,
+                      overwrite=False):
+    """Register a :class:`Workload` subclass (decorator-friendly).
+
+    ``name`` defaults to the class's ``name`` attribute and ``description``
+    to its first docstring line (falling back to the class name for
+    undocumented classes).  Registering an existing name raises
+    :class:`~repro.utils.errors.RegistryError` unless ``overwrite=True``.
+    """
+    return WORKLOAD_REGISTRY.register(workload_cls, name=name,
+                                      description=description,
+                                      overwrite=overwrite)
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a workload from the registry."""
+    WORKLOAD_REGISTRY.unregister(name)
+
+
+for _workload_cls in (BFSWorkload, MatMulWorkload, PointerChaseWorkload,
+                      ReductionWorkload, SpMVWorkload, StencilWorkload,
+                      VecAddWorkload):
+    register_workload(_workload_cls)
+del _workload_cls
 
 
 def available_workloads() -> List[str]:
-    """Names of all bundled workloads."""
-    return sorted(WORKLOAD_REGISTRY)
+    """Names of all registered workloads."""
+    return WORKLOAD_REGISTRY.names()
+
+
+def workload_class(name: str):
+    """The registered workload class for ``name``."""
+    return WORKLOAD_REGISTRY.get(name)
+
+
+def workload_description(name: str) -> str:
+    """Description metadata of a registered workload."""
+    return WORKLOAD_REGISTRY.describe(name)
 
 
 def create_workload(name: str, **kwargs) -> Workload:
-    """Instantiate a bundled workload by name."""
-    try:
-        workload_cls = WORKLOAD_REGISTRY[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {available_workloads()}"
-        ) from exc
-    return workload_cls(**kwargs)
+    """Instantiate a registered workload by name."""
+    return workload_class(name)(**kwargs)
 
 
 __all__ = [
@@ -73,5 +109,9 @@ __all__ = [
     "grid_graph",
     "random_graph",
     "reference_bfs",
+    "register_workload",
     "setup_pointer_chain",
+    "unregister_workload",
+    "workload_class",
+    "workload_description",
 ]

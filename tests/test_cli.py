@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -17,9 +19,10 @@ class TestParser:
                                      ("configs", "workloads") else [command])
             assert args.command == command
 
-    def test_unknown_config_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sweep", "--config", "gtx9000"])
+    def test_run_subcommand_registered(self):
+        args = build_parser().parse_args(["run", "spec.json"])
+        assert args.command == "run"
+        assert args.spec == "spec.json"
 
 
 class TestCommands:
@@ -34,6 +37,12 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "bfs" in output
         assert "pointer_chase" in output
+
+    def test_unknown_config_rejected(self, capsys):
+        assert main(["sweep", "--config", "gtx9000",
+                     "--footprints", "4096"]) == 1
+        err = capsys.readouterr().err
+        assert "gtx9000" in err
 
     def test_table1_single_generation(self, capsys):
         assert main(["table1", "--configs", "gt200", "--accesses", "64"]) == 0
@@ -54,7 +63,8 @@ class TestCommands:
     def test_dynamic_bfs_small(self, capsys):
         assert main([
             "dynamic", "--config", "gf100", "--workload", "bfs",
-            "--nodes", "256", "--degree", "4", "--buckets", "8",
+            "--param", "num_nodes=256", "--param", "avg_degree=4",
+            "--buckets", "8",
         ]) == 0
         output = capsys.readouterr().out
         assert "Figure 1" in output
@@ -68,3 +78,75 @@ class TestCommands:
         ]) == 0
         output = capsys.readouterr().out
         assert "vecadd" in output
+
+    def test_dynamic_unknown_param_lists_valid_ones(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--param", "bogus=1",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "block_dim" in err and "n" in err
+
+    def test_dynamic_param_buckets_not_clobbered_by_default(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--param", "n=128", "--param", "buckets=3",
+        ]) == 0
+        output = capsys.readouterr().out
+        # Three buckets requested via --param must survive the --buckets
+        # argparse default; the exposure table then has at most 3 rows.
+        table = output.split("Figure 2")[1]
+        data_rows = [line for line in table.splitlines()
+                     if line and line[0].isdigit()]
+        assert 0 < len(data_rows) <= 3
+
+    def test_run_spec_malformed_json_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["run", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid experiment JSON")
+
+    def test_dynamic_malformed_param_rejected(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--param", "nonsense",
+        ]) == 1
+        assert "key=value" in capsys.readouterr().err
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps([
+            {"kind": "dynamic", "configs": ["gf100"], "workload": "vecadd",
+             "params": {"n": 128, "buckets": 8}},
+            {"kind": "sweep", "configs": ["gt200"],
+             "params": {"accesses": 48, "footprints": [4096, 16384]}},
+        ]))
+        output = tmp_path / "results.json"
+        assert main(["run", str(spec), "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+        assert "Figure 1" in out
+        assert "detected" in out
+        saved = json.loads(output.read_text())
+        assert len(saved["records"]) == 2
+
+    def test_run_spec_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/spec.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_dynamic_output_roundtrips(self, tmp_path, capsys):
+        from repro.experiments import RunSet
+
+        output = tmp_path / "run.json"
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--param", "n=128", "--buckets", "8",
+            "--output", str(output),
+        ]) == 0
+        loaded = RunSet.load(output)
+        assert len(loaded) == 1
+        assert loaded[0].kind == "dynamic"
+        assert loaded[0].to_json() == RunSet.from_json(
+            output.read_text()).records[0].to_json()
