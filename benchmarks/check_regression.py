@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Gate CI on benchmark regressions against a committed baseline.
+
+Compares a ``pytest-benchmark --benchmark-json`` result file against the
+committed ``benchmarks/baseline.json`` and exits non-zero when any
+benchmark's mean time regressed by more than the allowed fraction
+(default 25%).
+
+Benchmark machines differ (the committed baseline comes from a developer
+container; CI runners have different CPUs), so raw means are not directly
+comparable.  The checker therefore corrects for uniform machine-speed
+drift first: every benchmark's current/baseline mean ratio is divided by
+the **median** ratio across all shared benchmarks before the threshold is
+applied.  A uniformly slower runner shifts every ratio equally and passes;
+one hot loop regressing relative to the rest still fails.  (With fewer
+than three shared benchmarks the correction is skipped and raw ratios are
+used.)
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baseline.json \
+        --current bench-results.json \
+        [--max-regression 0.25]
+
+Exit codes: 0 = within threshold, 1 = regression (or a baseline benchmark
+disappeared), 2 = bad input files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Map of benchmark fullname -> mean seconds from a benchmark JSON."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read benchmark JSON {path!r}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2) from exc
+    means: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        means[bench["fullname"]] = bench["stats"]["mean"]
+    if not means:
+        print(f"error: {path!r} contains no benchmarks", file=sys.stderr)
+        raise SystemExit(2)
+    return means
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmarks regressed beyond the threshold")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline benchmark JSON")
+    parser.add_argument("--current", required=True,
+                        help="benchmark JSON from this run")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        metavar="FRACTION",
+                        help="allowed drift-corrected slowdown per "
+                             "benchmark (default: 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    missing = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    if missing:
+        print("error: benchmarks in the baseline did not run:",
+              file=sys.stderr)
+        for name in missing:
+            print(f"  - {name}", file=sys.stderr)
+        return 1
+    if added:
+        print("note: new benchmarks without a baseline (not gated):")
+        for name in added:
+            print(f"  - {name}")
+    if not shared:
+        print("error: no shared benchmarks to compare", file=sys.stderr)
+        return 2
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    if len(shared) >= 3:
+        drift = statistics.median(ratios.values())
+    else:
+        drift = 1.0
+    threshold = 1.0 + args.max_regression
+
+    print(f"machine-speed drift (median current/baseline ratio): "
+          f"{drift:.3f}")
+    print(f"allowed drift-corrected slowdown: {threshold:.2f}x\n")
+    header = (f"{'benchmark':60s} {'baseline':>10s} {'current':>10s} "
+              f"{'corrected':>10s}")
+    print(header)
+    print("-" * len(header))
+    failures = []
+    for name in shared:
+        corrected = ratios[name] / drift
+        flag = ""
+        if corrected > threshold:
+            failures.append(name)
+            flag = "  << REGRESSION"
+        short = name if len(name) <= 60 else "..." + name[-57:]
+        print(f"{short:60s} {baseline[name]:10.4f} {current[name]:10.4f} "
+              f"{corrected:9.2f}x{flag}")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.max_regression:.0%} (drift-corrected):",
+              file=sys.stderr)
+        for name in failures:
+            print(f"  - {name}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(shared)} benchmark(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

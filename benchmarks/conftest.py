@@ -8,12 +8,17 @@ in EXPERIMENTS.md can be re-derived.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.experiments import Experiment, Session
 from repro.gpu import fermi_gf100
+
+#: Worker processes used by the parallel-executor benchmark (override with
+#: REPRO_BENCH_JOBS; CI runners typically have 2-4 cores).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
 
 #: Where benchmark output tables are written.
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -57,6 +62,17 @@ def run_bfs(config, num_nodes: int, avg_degree: int, seed: int = 13):
         name, "bfs", num_nodes=num_nodes, avg_degree=avg_degree,
         block_dim=128, seed=seed))
     return record.gpu, record.workload, record.results
+
+
+def run_experiments(specs, jobs: int = 1):
+    """Run a list of experiment specs through a fresh session.
+
+    ``jobs > 1`` shards the specs across worker processes via
+    :meth:`Session.run_all`; the returned :class:`RunSet` is identical to
+    a serial run either way (that property is itself benchmarked in
+    ``test_parallel_executor.py``).
+    """
+    return Session(cache=False).run_all(specs, jobs=jobs)
 
 
 @pytest.fixture(scope="session")

@@ -45,7 +45,7 @@ def measure(policy: str):
     hits = sum_stat(stats, "l1d.hits")
     misses = sum_stat(stats, "l1d.misses")
     loads = gpu.tracker.global_loads()
-    mean_load_latency = sum(l.latency for l in loads) / len(loads)
+    mean_load_latency = sum(load.latency for load in loads) / len(loads)
     return {
         "policy": policy,
         "cycles": sum(r.cycles for r in results),

@@ -38,7 +38,7 @@ def measure(policy: str):
         "cycles": sum(r.cycles for r in results),
         "exposed_fraction": exposure.overall_exposed_fraction,
         "mostly_exposed_loads": exposure.fraction_of_loads_mostly_exposed(50.0),
-        "mean_load_latency": sum(l.latency for l in loads) / len(loads),
+        "mean_load_latency": sum(load.latency for load in loads) / len(loads),
     }
 
 

@@ -33,7 +33,8 @@ def run_bfs(config, nodes, degree):
     loads = record.tracker.global_loads()
     return {
         "cycles": record.total_cycles,
-        "mean load latency": round(sum(l.latency for l in loads) / len(loads), 1),
+        "mean load latency": round(sum(load.latency for load in loads)
+                                   / len(loads), 1),
         "exposed fraction": round(record.exposure.overall_exposed_fraction, 3),
     }
 

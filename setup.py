@@ -1,8 +1,10 @@
 """Setuptools shim so that editable installs work without the `wheel` package.
 
 The project metadata lives in pyproject.toml; this file only enables
-`pip install -e . --no-use-pep517` in offline environments.
+`pip install -e . --no-use-pep517` (or `--no-build-isolation`) in offline
+environments whose setuptools predates full PEP 660 support.
 """
+
 from setuptools import setup
 
 setup()

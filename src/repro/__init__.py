@@ -42,6 +42,7 @@ from repro.core.static import reproduce_table_i
 from repro.core.tracker import LatencyTracker
 from repro.experiments import (
     Experiment,
+    ParallelExecutor,
     RunRecord,
     RunSet,
     Session,
@@ -87,6 +88,7 @@ __all__ = [
     "KernelResult",
     "LatencyTracker",
     "MatMulWorkload",
+    "ParallelExecutor",
     "PointerChaseWorkload",
     "Program",
     "ReductionWorkload",

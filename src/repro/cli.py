@@ -14,8 +14,9 @@ benchmarks all exercise the same code path.
 ``repro table1``
     Reproduce Table I (static L1/L2/DRAM latencies per generation).
 ``repro sweep``
-    Run a footprint/stride pointer-chase sweep on one configuration and
-    infer its memory hierarchy from the latency plateaus.
+    Run a footprint/stride pointer-chase sweep on one or more
+    configurations (``--config`` is repeatable) and infer each memory
+    hierarchy from the latency plateaus.
 ``repro dynamic``
     Run a workload on a configuration and print the Figure 1 latency
     breakdown and the Figure 2 exposed/hidden analysis.  Workload
@@ -27,6 +28,9 @@ benchmarks all exercise the same code path.
 Each subcommand prints plain text; pass ``--help`` to any of them for its
 options.  Experiment subcommands accept ``--output FILE`` to save their
 results as JSON (reloadable with ``repro.experiments.RunSet.load``).
+``repro run`` and ``repro sweep`` accept ``--jobs N`` to shard their
+experiments across N worker processes; the printed order and any
+``--output`` file are identical to a serial run.
 """
 
 from __future__ import annotations
@@ -145,13 +149,27 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_to_stderr(done: int, total: int, record: RunRecord) -> None:
+    """Streamed completion lines (stderr keeps stdout byte-deterministic)."""
+    print(f"[{done}/{total}] {record.summary()}", file=sys.stderr)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    experiment = Experiment.sweep(args.config, stride=args.stride,
-                                  space=args.space, accesses=args.accesses,
-                                  footprints=args.footprints)
-    record = args.session.run(experiment)
-    _print_sweep(record, args)
-    _write_output(args, [record])
+    configs = args.config or ["gf106"]
+    experiments = [
+        Experiment.sweep(config, stride=args.stride, space=args.space,
+                         accesses=args.accesses, footprints=args.footprints)
+        for config in configs
+    ]
+    progress = _progress_to_stderr if args.jobs > 1 else None
+    runs = args.session.run_all(experiments, jobs=args.jobs,
+                                progress=progress)
+    for index, record in enumerate(runs):
+        if index:
+            print()
+            print("=" * 72)
+        _print_sweep(record, args)
+    _write_output(args, list(runs))
     return 0
 
 
@@ -168,7 +186,8 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.spec) as handle:
         text = handle.read()
-    runs = args.session.run_json(text)
+    progress = _progress_to_stderr if args.jobs > 1 else None
+    runs = args.session.run_json(text, jobs=args.jobs, progress=progress)
     for index, record in enumerate(runs):
         if index:
             print()
@@ -211,13 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser("sweep",
                                   help="pointer-chase footprint sweep + "
                                        "hierarchy inference")
-    sweep.add_argument("--config", default="gf106",
-                       help="configuration to sweep (see 'repro configs')")
+    sweep.add_argument("--config", action="append",
+                       help="configuration to sweep; repeatable for a "
+                            "multi-config sweep (default: gf106)")
     sweep.add_argument("--stride", type=int, default=128)
     sweep.add_argument("--space", default="global", choices=["global", "local"])
     sweep.add_argument("--accesses", type=int, default=192)
     sweep.add_argument("--footprints", nargs="*", type=int,
                        help="footprints in bytes (default: span the caches)")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes to shard the sweeps across "
+                            "(default: 1, serial)")
     sweep.add_argument("--output", help="save results as a JSON run set")
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -241,6 +264,9 @@ def build_parser() -> argparse.ArgumentParser:
                                      "file")
     run.add_argument("spec", help="path to a JSON experiment spec (one "
                                   "object or an array of objects)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes to shard the experiments "
+                          "across (default: 1, serial)")
     run.add_argument("--output", help="save results as a JSON run set")
     run.set_defaults(func=_cmd_run)
     return parser

@@ -72,10 +72,6 @@ class TableIResult:
 
     def format_table(self) -> str:
         """Render the result in the layout of the paper's Table I."""
-        headers = ["Unit"] + [
-            f"{generation.label}\n{generation.config_name.upper()}"
-            for generation in self.generations
-        ]
         level_names = {"l1": "L1 D$", "l2": "L2 D$", "dram": "DRAM"}
         lines = []
         name_width = 8
@@ -100,7 +96,6 @@ class TableIResult:
                         f"{measured_text} (paper {reported_text})".ljust(col_width)
                     )
             lines.append(" | ".join(cells))
-        del headers
         return "\n".join(lines)
 
 

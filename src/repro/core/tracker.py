@@ -197,7 +197,7 @@ class LatencyTracker:
 
     def global_loads(self) -> List[LoadRecord]:
         """Completed warp-level load records for the global space."""
-        return [l for l in self.loads if l.space == "global"]
+        return [load for load in self.loads if load.space == "global"]
 
     def clear(self) -> None:
         """Drop all recorded data (between kernel launches, if desired)."""
@@ -220,8 +220,8 @@ class LatencyTracker:
             result["read_latency_max"] = float(max(latencies))
             result["read_latency_mean"] = float(sum(latencies)) / len(latencies)
         if self.loads:
-            exposed = [self.exposed_cycles(l) for l in self.loads]
-            total = [l.latency for l in self.loads]
+            exposed = [self.exposed_cycles(load) for load in self.loads]
+            total = [load.latency for load in self.loads]
             result["load_latency_mean"] = float(sum(total)) / len(total)
             result["exposed_fraction_mean"] = (
                 float(sum(exposed)) / max(sum(total), 1)

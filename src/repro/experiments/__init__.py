@@ -23,6 +23,11 @@ results as canonical JSON.  The configuration and workload registries
 :func:`~repro.workloads.register_workload`) make both axes pluggable.
 """
 
+from repro.experiments.parallel import (
+    CompletedRun,
+    ParallelExecutor,
+    default_jobs,
+)
 from repro.experiments.results import (
     RunRecord,
     RunSet,
@@ -50,14 +55,17 @@ from repro.workloads import (
 
 __all__ = [
     "CONFIG_REGISTRY",
+    "CompletedRun",
     "EXPERIMENT_KINDS",
     "Experiment",
+    "ParallelExecutor",
     "RunRecord",
     "RunSet",
     "Session",
     "WORKLOAD_REGISTRY",
     "breakdown_to_dict",
     "coerce_workload_params",
+    "default_jobs",
     "exposure_to_dict",
     "launch_to_dict",
     "parse_param_token",

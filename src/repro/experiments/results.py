@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.breakdown import BreakdownResult
 from repro.core.exposure import ExposureResult
@@ -139,6 +139,20 @@ def sweep_to_dict(surface: LatencySurface,
 # ----------------------------------------------------------------------
 # Records
 # ----------------------------------------------------------------------
+#: Artifact keys holding live simulator state (the full GPU with its
+#: global-memory backing store, the workload instance, raw kernel
+#: results).  These never cross a process boundary and are dropped from
+#: session-cached records; the remaining ("light") artifacts are the
+#: plain-data analysis objects, which pickle fine.
+HEAVY_ARTIFACTS = ("gpu", "workload", "results")
+
+
+def light_artifacts(artifacts: Mapping[str, Any]) -> Dict[str, Any]:
+    """The picklable analysis artifacts (everything but live state)."""
+    return {key: value for key, value in artifacts.items()
+            if key not in HEAVY_ARTIFACTS}
+
+
 @dataclass
 class RunRecord:
     """The persistent outcome of one experiment run.
@@ -267,6 +281,34 @@ class RunSet:
     def append(self, record: RunRecord) -> None:
         """Add one record to the set."""
         self.records.append(record)
+
+    @classmethod
+    def from_indexed(cls, indexed: Iterable[Tuple[int, RunRecord]]
+                     ) -> "RunSet":
+        """Assemble a set from ``(index, record)`` pairs in index order.
+
+        This is the deterministic-merge primitive behind parallel
+        execution: results stream back from workers in completion order,
+        and reassembling them by their submission index makes the merged
+        set independent of worker count and scheduling.  Duplicate or
+        missing indices indicate a broken producer and raise.
+        """
+        pairs = sorted(indexed, key=lambda pair: pair[0])
+        indices = [index for index, _record in pairs]
+        if indices != list(range(len(pairs))):
+            raise ExperimentError(
+                f"cannot assemble run set: expected indices "
+                f"0..{len(pairs) - 1}, got {indices}"
+            )
+        return cls(records=[record for _index, record in pairs])
+
+    @classmethod
+    def merge(cls, *run_sets: "RunSet") -> "RunSet":
+        """Concatenate several run sets into one (records in given order)."""
+        merged: List[RunRecord] = []
+        for run_set in run_sets:
+            merged.extend(run_set.records)
+        return cls(records=merged)
 
     def __len__(self) -> int:
         return len(self.records)

@@ -24,7 +24,16 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Mapping, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Union,
+)
 
 from repro.core.breakdown import breakdown_from_tracker
 from repro.core.exposure import compute_exposure
@@ -37,6 +46,7 @@ from repro.experiments.results import (
     breakdown_to_dict,
     exposure_to_dict,
     launch_to_dict,
+    light_artifacts,
     sweep_to_dict,
     table_to_dict,
 )
@@ -139,7 +149,90 @@ class Session:
         return RunSet(records=[self.run(experiment, use_cache=use_cache)
                                for experiment in experiments])
 
-    def run_json(self, text: str, use_cache: bool = True) -> RunSet:
+    def run_all(self, experiments: Iterable[Union[Experiment,
+                                                  Mapping[str, Any]]],
+                jobs: Optional[int] = 1, use_cache: bool = True,
+                progress: Optional[Callable[[int, int, RunRecord], None]]
+                = None) -> RunSet:
+        """Run several experiments, optionally across worker processes.
+
+        With ``jobs`` of ``None``/``0``/``1`` this is a plain serial
+        :meth:`run_many`.  With ``jobs > 1`` the specs are deduplicated,
+        parent-cache hits are served locally, and the remaining unique
+        specs are sharded across a pool of worker processes, each owning a
+        long-lived session (see :class:`~repro.experiments.parallel
+        .ParallelExecutor`).  Workers return plain-data records (plus
+        their picklable analysis artifacts) keyed by spec hash; the
+        parent merges them into its own result cache, so a later
+        :meth:`run` of the same spec is a cache hit.  The returned
+        :class:`RunSet` is ordered by submission index and serializes
+        byte-identically to the serial result regardless of worker count
+        or completion order.
+
+        ``progress``, if given, is called as ``progress(done, total,
+        record)`` each time a record resolves (including cache hits).
+        """
+        specs = [experiment if isinstance(experiment, Experiment)
+                 else Experiment.from_dict(experiment)
+                 for experiment in experiments]
+        total = len(specs)
+        if jobs is None or jobs <= 1:
+            records = []
+            for spec in specs:
+                record = self.run(spec, use_cache=use_cache)
+                records.append(record)
+                if progress is not None:
+                    progress(len(records), total, record)
+            return RunSet(records=records)
+
+        from repro.experiments.parallel import ParallelExecutor
+
+        records_by_index: List[Optional[RunRecord]] = [None] * total
+        done = 0
+        # Serve parent-cache hits locally and dedupe the misses by spec
+        # hash, so each distinct simulation runs exactly once no matter
+        # how often it appears in the grid.
+        pending: Dict[str, List[int]] = {}
+        for index, spec in enumerate(specs):
+            key = self._cache_key(spec)
+            if self.cache_enabled and use_cache and key in self._cache:
+                self.cache_hits += 1
+                records_by_index[index] = self._cache[key]
+                done += 1
+                if progress is not None:
+                    progress(done, total, self._cache[key])
+            else:
+                pending.setdefault(spec.spec_hash(), []).append(index)
+        if pending:
+            unique = [specs[indices[0]] for indices in pending.values()]
+            with ParallelExecutor(jobs=jobs,
+                                  configs=self._local_configs) as executor:
+                for completed in executor.imap(unique):
+                    indices = pending[completed.spec_hash]
+                    record = completed.record
+                    # Counter parity with the serial path: with caching
+                    # active, one miss plus a hit per deduplicated
+                    # occurrence; with it off, every occurrence would
+                    # have been a miss.
+                    if self.cache_enabled and use_cache:
+                        self.cache_misses += 1
+                        self.cache_hits += len(indices) - 1
+                    else:
+                        self.cache_misses += len(indices)
+                    if self.cache_enabled:
+                        key = self._cache_key(specs[indices[0]])
+                        self._cache[key] = self._cacheable(record)
+                    for index in indices:
+                        records_by_index[index] = record
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, record)
+        return RunSet(records=list(records_by_index))
+
+    def run_json(self, text: str, use_cache: bool = True,
+                 jobs: Optional[int] = 1,
+                 progress: Optional[Callable[[int, int, RunRecord], None]]
+                 = None) -> RunSet:
         """Run experiment spec(s) from a JSON string (object or array)."""
         import json
 
@@ -153,7 +246,8 @@ class Session:
             raise ExperimentError(
                 "experiment JSON must be an object or an array of objects"
             )
-        return self.run_many(data, use_cache=use_cache)
+        return self.run_all(data, use_cache=use_cache, jobs=jobs,
+                            progress=progress)
 
     # ------------------------------------------------------------------
     # Cache bookkeeping
@@ -170,15 +264,12 @@ class Session:
         """Drop all cached results (counters are kept)."""
         self._cache.clear()
 
-    #: Artifact keys holding live simulator state.  These are dropped from
-    #: cached records so a session does not pin one full GPU (global-memory
-    #: backing store, tracker records, ...) per grid point; the analysis
-    #: objects and the JSON payload — what makes reruns free — are kept.
-    _HEAVY_ARTIFACTS = ("gpu", "workload", "results")
-
     def _cacheable(self, record: RunRecord) -> RunRecord:
-        light = {key: value for key, value in record.artifacts.items()
-                 if key not in self._HEAVY_ARTIFACTS}
+        # Live simulator state is dropped from cached records so a session
+        # does not pin one full GPU (global-memory backing store, tracker
+        # records, ...) per grid point; the analysis objects and the JSON
+        # payload — what makes reruns free — are kept.
+        light = light_artifacts(record.artifacts)
         if len(light) == len(record.artifacts):
             return record
         return RunRecord(

@@ -25,6 +25,7 @@ of an ablation study.
 
 from __future__ import annotations
 
+import hashlib
 import inspect
 import itertools
 import json
@@ -395,6 +396,18 @@ class Experiment:
     def cache_key(self) -> str:
         """Canonical string identity used for session result caching."""
         return self.to_json()
+
+    def spec_hash(self) -> str:
+        """Short content hash of the canonical spec.
+
+        Two experiments have the same hash iff their canonical JSON forms
+        are identical, which makes the hash a compact, process-safe key:
+        parallel workers tag the records they return with it and the
+        parent session merges them into its cache without having to ship
+        the full spec back across the pipe.
+        """
+        digest = hashlib.sha256(self.cache_key().encode("utf-8"))
+        return digest.hexdigest()[:16]
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -9,7 +9,7 @@ hold data, because values are served by the functional
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.utils.errors import ConfigurationError
 from repro.utils.stats import StatCounters

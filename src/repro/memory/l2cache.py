@@ -70,10 +70,12 @@ class L2Slice:
         set_index_fn = None
         if mapping is not None:
             line_size = config.geometry.line_size
+
             # Index with the partition-local address: the bits that select
             # the partition carry no information within one slice and would
             # otherwise alias away most of the sets.
-            set_index_fn = lambda address: mapping.partition_local(address) // line_size
+            def set_index_fn(address):
+                return mapping.partition_local(address) // line_size
         self.cache = SetAssociativeCache(config.geometry, set_index_fn=set_index_fn)
         self.mshr = MSHRTable(config.mshr_entries, config.mshr_max_merge,
                               name=f"l2mshr{partition_id}")

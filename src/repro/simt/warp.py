@@ -7,7 +7,6 @@ scoreboard, and scheduling metadata (barrier state, last issue cycle, ...).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gpu.gpu import GPU, KernelResult
+from repro.gpu.gpu import GPU
 from repro.isa.builder import KernelBuilder
 from repro.isa.program import Program
 from repro.utils.errors import ConfigurationError

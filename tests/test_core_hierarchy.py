@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.hierarchy import (
-    HierarchyEstimate,
     detect_plateaus,
     expected_level_count,
     infer_hierarchy,

@@ -3,8 +3,6 @@ tracker consistency across whole workload runs."""
 
 import dataclasses
 
-import numpy as np
-import pytest
 
 from repro.core.stages import Event
 from repro.gpu import GPU

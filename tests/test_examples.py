@@ -50,6 +50,14 @@ class TestExamples:
         assert "Warp scheduling policy" in output
         assert "L1 policy" in output
 
+    def test_parallel_sweep_runs_small(self, capsys):
+        run_example("parallel_sweep.py",
+                    ["--nodes", "128", "256", "--degree", "4",
+                     "--jobs", "2"])
+        output = capsys.readouterr().out
+        assert "byte-identical to serial: True" in output
+        assert "parent cache after merge" in output
+
     @pytest.mark.slow
     def test_static_latency_table_runs_quick(self, capsys):
         run_example("static_latency_table.py", ["--quick"])

@@ -26,7 +26,6 @@ from repro.utils.errors import (
 )
 from repro.utils.registry import Registry
 from repro.workloads import (
-    WORKLOAD_REGISTRY,
     available_workloads,
     create_workload,
     register_workload,

@@ -3,10 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.gpu import GPU
 from repro.isa import KernelBuilder
 from repro.utils.errors import SimulationError
-from tests.conftest import make_fast_config
 
 
 def run_kernel(gpu, builder, grid_dim, block_dim, params=None):

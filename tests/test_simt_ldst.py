@@ -1,16 +1,12 @@
 """Unit tests for the LD/ST unit: coalescing, L1 behaviour, completion."""
 
 import numpy as np
-import pytest
 
 from repro.core.stages import Event
 from repro.core.tracker import LatencyTracker
 from repro.isa import KernelBuilder
-from repro.isa.opcodes import MemSpace
-from repro.memory.interconnect import InterconnectConfig
-from repro.memory.partition import PartitionConfig
 from repro.memory.subsystem import MemorySystem
-from repro.simt.ldst import LoadStoreUnit, LoadToken
+from repro.simt.ldst import LoadStoreUnit
 from tests.conftest import make_fast_config
 
 
@@ -138,7 +134,7 @@ class TestL1Behaviour:
         builder.local_alloc(4)
         local_load = builder.build()[0]
         addresses, mask = lane_addresses(0x2000, count=32, stride=4)
-        first = unit.issue(FakeWarp(), local_load, addresses, mask, 0)
+        unit.issue(FakeWarp(), local_load, addresses, mask, 0)
         now = run_cycles(unit, memory_system, 300)
         second = unit.issue(FakeWarp(), local_load, addresses, mask, now)
         run_cycles(unit, memory_system, 60, start=now)

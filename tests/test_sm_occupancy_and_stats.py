@@ -1,7 +1,6 @@
 """SM-level behaviour: occupancy limits, scheduler assignment, statistics,
 exposure bookkeeping, and memory-request metadata."""
 
-import numpy as np
 import pytest
 
 from repro.core.stages import Event
