@@ -16,6 +16,12 @@ one hot loop regressing relative to the rest still fails.  (With fewer
 than three shared benchmarks the correction is skipped and raw ratios are
 used.)
 
+When ``$GITHUB_STEP_SUMMARY`` is set (as it is inside GitHub Actions),
+the comparison is additionally appended there as a markdown table —
+per-benchmark baseline vs current mean plus the drift-corrected ratio —
+so speedups and regressions are visible on the run's summary page
+without downloading artifacts.
+
 Usage::
 
     python benchmarks/check_regression.py \
@@ -31,9 +37,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
-from typing import Dict
+from typing import Dict, List, Optional
 
 
 def load_means(path: str) -> Dict[str, float]:
@@ -52,6 +59,68 @@ def load_means(path: str) -> Dict[str, float]:
         print(f"error: {path!r} contains no benchmarks", file=sys.stderr)
         raise SystemExit(2)
     return means
+
+
+def format_markdown_summary(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    shared: List[str],
+    added: List[str],
+    drift: float,
+    threshold: float,
+    failures: List[str],
+    speedup: float = 1.0,
+) -> str:
+    """Markdown comparison table for the GitHub Actions step summary."""
+    lines = [
+        "## Benchmark comparison",
+        "",
+        f"Machine-speed drift (median current/baseline ratio): "
+        f"**{drift:.3f}** — geometric-mean raw speedup vs baseline: "
+        f"**{speedup:.2f}x** — allowed drift-corrected slowdown: "
+        f"**{threshold:.2f}x**",
+        "",
+        "| benchmark | baseline (s) | current (s) | corrected ratio "
+        "| status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name in shared:
+        corrected = (current[name] / baseline[name]) / drift
+        if name in failures:
+            status = ":x: regression"
+        elif corrected < 1.0:
+            status = ":zap: faster"
+        else:
+            status = ":white_check_mark: ok"
+        lines.append(
+            f"| `{name}` | {baseline[name]:.4f} | {current[name]:.4f} "
+            f"| {corrected:.2f}x | {status} |"
+        )
+    for name in added:
+        lines.append(
+            f"| `{name}` | - | {current[name]:.4f} | - | :new: not gated |"
+        )
+    if failures:
+        lines += ["", f"**{len(failures)} benchmark(s) regressed beyond "
+                      f"the threshold.**"]
+    else:
+        lines += ["", f"All {len(shared)} gated benchmark(s) within "
+                      f"threshold."]
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(text: str, path: Optional[str] = None) -> bool:
+    """Append ``text`` to ``$GITHUB_STEP_SUMMARY`` (no-op outside CI)."""
+    path = path or os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return False
+    try:
+        with open(path, "a") as handle:
+            handle.write(text)
+    except OSError as exc:  # pragma: no cover - summary is best-effort
+        print(f"warning: cannot write step summary: {exc}", file=sys.stderr)
+        return False
+    return True
 
 
 def main(argv=None) -> int:
@@ -93,9 +162,11 @@ def main(argv=None) -> int:
     else:
         drift = 1.0
     threshold = 1.0 + args.max_regression
+    speedup = 1.0 / statistics.geometric_mean(ratios.values())
 
     print(f"machine-speed drift (median current/baseline ratio): "
           f"{drift:.3f}")
+    print(f"geometric-mean speedup vs baseline (raw): {speedup:.2f}x")
     print(f"allowed drift-corrected slowdown: {threshold:.2f}x\n")
     header = (f"{'benchmark':60s} {'baseline':>10s} {'current':>10s} "
               f"{'corrected':>10s}")
@@ -111,6 +182,10 @@ def main(argv=None) -> int:
         short = name if len(name) <= 60 else "..." + name[-57:]
         print(f"{short:60s} {baseline[name]:10.4f} {current[name]:10.4f} "
               f"{corrected:9.2f}x{flag}")
+
+    write_step_summary(format_markdown_summary(
+        baseline, current, shared, added, drift, threshold, failures,
+        speedup=speedup))
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed more than "

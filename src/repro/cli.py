@@ -30,7 +30,10 @@ options.  Experiment subcommands accept ``--output FILE`` to save their
 results as JSON (reloadable with ``repro.experiments.RunSet.load``).
 ``repro run`` and ``repro sweep`` accept ``--jobs N`` to shard their
 experiments across N worker processes; the printed order and any
-``--output`` file are identical to a serial run.
+``--output`` file are identical to a serial run.  Every experiment
+subcommand also accepts ``--reference-core`` to run the simulator's
+straight-line reference loop instead of the event-accelerated fast path
+(byte-identical results, mainly useful for validating the fast path).
 """
 
 from __future__ import annotations
@@ -216,6 +219,14 @@ def build_parser() -> argparse.ArgumentParser:
                                       help="list registered workloads")
     workloads.set_defaults(func=_cmd_workloads)
 
+    def add_reference_core_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--reference-core", action="store_true",
+            help="run the straight-line reference simulation loop instead "
+                 "of the event-accelerated fast path (results are "
+                 "byte-identical; the fast path is validated against this "
+                 "mode by the golden equivalence tests)")
+
     table1 = subparsers.add_parser("table1",
                                    help="reproduce Table I (static latencies)")
     table1.add_argument("--configs", nargs="*",
@@ -225,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--stride", type=int, default=128,
                         help="pointer-chase stride in bytes")
     table1.add_argument("--output", help="save results as a JSON run set")
+    add_reference_core_flag(table1)
     table1.set_defaults(func=_cmd_table1)
 
     sweep = subparsers.add_parser("sweep",
@@ -242,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes to shard the sweeps across "
                             "(default: 1, serial)")
     sweep.add_argument("--output", help="save results as a JSON run set")
+    add_reference_core_flag(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     dynamic = subparsers.add_parser("dynamic",
@@ -257,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "list the workload's valid parameters)")
     dynamic.add_argument("--buckets", type=int, default=24)
     dynamic.add_argument("--output", help="save results as a JSON run set")
+    add_reference_core_flag(dynamic)
     dynamic.set_defaults(func=_cmd_dynamic)
 
     run = subparsers.add_parser("run",
@@ -268,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes to shard the experiments "
                           "across (default: 1, serial)")
     run.add_argument("--output", help="save results as a JSON run set")
+    add_reference_core_flag(run)
     run.set_defaults(func=_cmd_run)
     return parser
 
@@ -276,7 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.session = Session()
+    args.session = Session(
+        reference_core=getattr(args, "reference_core", False))
     try:
         return args.func(args)
     except (ReproError, FileNotFoundError) as exc:

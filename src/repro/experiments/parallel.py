@@ -85,12 +85,14 @@ def _start_method() -> str:
     return multiprocessing.get_start_method(allow_none=False)
 
 
-def _init_worker(configs: Dict[str, GPUConfig]) -> None:
+def _init_worker(configs: Dict[str, GPUConfig],
+                 reference_core: bool = False) -> None:
     """Pool initializer: build this worker's long-lived session once."""
     global _WORKER_SESSION
     from repro.experiments.session import Session  # deferred: avoid cycle
 
-    _WORKER_SESSION = Session(cache=True, configs=configs)
+    _WORKER_SESSION = Session(cache=True, configs=configs,
+                              reference_core=reference_core)
 
 
 def _run_in_worker(
@@ -146,15 +148,20 @@ class ParallelExecutor:
     mp_context:
         Optional :mod:`multiprocessing` context (or start-method name)
         overriding the platform default (``fork`` where available).
+    reference_core:
+        Propagated into every worker's session (see
+        :class:`~repro.experiments.session.Session`).
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  configs: Optional[Mapping[str, GPUConfig]] = None,
-                 mp_context: Union[str, Any, None] = None) -> None:
+                 mp_context: Union[str, Any, None] = None,
+                 reference_core: bool = False) -> None:
         if jobs is not None and jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs or default_jobs()
         self._configs = dict(configs or {})
+        self._reference_core = reference_core
         if mp_context is None:
             mp_context = _start_method()
         if isinstance(mp_context, str):
@@ -178,7 +185,7 @@ class ParallelExecutor:
                 max_workers=self.jobs,
                 mp_context=self._mp_context,
                 initializer=_init_worker,
-                initargs=(self._configs,),
+                initargs=(self._configs, self._reference_core),
             )
         return self._pool
 

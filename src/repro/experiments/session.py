@@ -87,11 +87,19 @@ class Session:
         Optional session-local configuration overrides: a mapping of name
         to :class:`GPUConfig` consulted before the global registry.  Use
         :meth:`add_config` to add ad-hoc variants (ablation studies).
+    reference_core:
+        When ``True``, every configuration this session resolves runs on
+        the simulator's reference (straight-line) core instead of the
+        event-accelerated fast path.  Results are byte-identical; this
+        is the programmatic face of the CLI's ``--reference-core``
+        escape hatch.
     """
 
     def __init__(self, cache: bool = True,
-                 configs: Optional[Mapping[str, GPUConfig]] = None) -> None:
+                 configs: Optional[Mapping[str, GPUConfig]] = None,
+                 reference_core: bool = False) -> None:
         self.cache_enabled = cache
+        self.reference_core = reference_core
         self._cache: Dict[str, RunRecord] = {}
         self._local_configs: Dict[str, GPUConfig] = dict(configs or {})
         self.cache_hits = 0
@@ -116,8 +124,12 @@ class Session:
     def resolve_config(self, name: str) -> GPUConfig:
         """Session-local configuration if present, else the registry's."""
         if name in self._local_configs:
-            return self._local_configs[name]
-        return get_config(name)
+            config = self._local_configs[name]
+        else:
+            config = get_config(name)
+        if self.reference_core and not config.reference_core:
+            config = config.replace(reference_core=True)
+        return config
 
     # ------------------------------------------------------------------
     # Running experiments
@@ -206,7 +218,9 @@ class Session:
         if pending:
             unique = [specs[indices[0]] for indices in pending.values()]
             with ParallelExecutor(jobs=jobs,
-                                  configs=self._local_configs) as executor:
+                                  configs=self._local_configs,
+                                  reference_core=self.reference_core
+                                  ) as executor:
                 for completed in executor.imap(unique):
                     indices = pending[completed.spec_hash]
                     record = completed.record

@@ -37,6 +37,13 @@ class GPUConfig:
         Size of the functional global memory backing store.
     max_cycles:
         Safety limit on simulated cycles per kernel launch.
+    reference_core:
+        When ``True``, the simulator runs the straight-line per-cycle
+        loop (scan every warp, tick every memory component every cycle)
+        instead of the event-accelerated fast path.  Results are
+        byte-identical either way — the reference core exists as the
+        trusted baseline the golden equivalence tests compare against,
+        and as an escape hatch (``repro ... --reference-core``).
     """
 
     name: str
@@ -48,6 +55,7 @@ class GPUConfig:
     partition: PartitionConfig = field(default_factory=PartitionConfig)
     global_memory_bytes: int = 64 * 1024 * 1024
     max_cycles: int = 50_000_000
+    reference_core: bool = False
 
     def __post_init__(self) -> None:
         if self.num_sms < 1:

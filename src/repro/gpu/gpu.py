@@ -73,6 +73,7 @@ class GPU:
             icnt_config=config.interconnect,
             partition_config=config.partition,
             tracker=self.tracker,
+            reference_core=config.reference_core,
         )
         self.sms: List[StreamingMultiprocessor] = [
             StreamingMultiprocessor(
@@ -81,6 +82,7 @@ class GPU:
                 memory_system=self.memory_system,
                 global_memory=self.global_memory,
                 tracker=self.tracker,
+                reference_core=config.reference_core,
             )
             for sm_id in range(config.num_sms)
         ]
@@ -194,10 +196,15 @@ class GPU:
         self.cycle = max(min(candidates), self.cycle + 1)
 
     def _stats_delta(self, start_stats: Dict[str, float]) -> Dict[str, float]:
-        """Counter changes since ``start_stats`` (a prior stats snapshot)."""
+        """Counter changes since ``start_stats`` (a prior stats snapshot).
+
+        Keys are sorted so the result is byte-identical regardless of the
+        order in which the two simulation cores first touch each counter.
+        """
+        end_stats = self.collect_stats().as_dict()
         return {
-            key: value - start_stats.get(key, 0)
-            for key, value in self.collect_stats().as_dict().items()
+            key: end_stats[key] - start_stats.get(key, 0)
+            for key in sorted(end_stats)
         }
 
     def _instructions_issued(self) -> int:

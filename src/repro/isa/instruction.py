@@ -9,6 +9,7 @@ SIMT stack and the load/store unit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple, Union
 
 from repro.isa.opcodes import CmpOp, MemSpace, Opcode, Unit, unit_for
@@ -115,6 +116,32 @@ class Instruction:
     def writes_predicate(self) -> Optional[Pred]:
         """The predicate register written, if any."""
         return self.dst if isinstance(self.dst, Pred) else None
+
+    # The index tuples below are what the per-cycle scoreboard hazard check
+    # actually consumes.  Operands never change after assembly (only
+    # ``pc``/``target``/``reconv`` are patched), so they are cached per
+    # static instruction rather than rebuilt on every issue attempt.
+    @cached_property
+    def src_reg_indices(self) -> Tuple[int, ...]:
+        """Indices of the general-purpose registers read (cached)."""
+        return tuple(op.index for op in self.reads_registers())
+
+    @cached_property
+    def src_pred_indices(self) -> Tuple[int, ...]:
+        """Indices of the predicate registers read, incl. guard (cached)."""
+        return tuple(op.index for op in self.reads_predicates())
+
+    @cached_property
+    def dst_reg_index(self) -> Optional[int]:
+        """Index of the general-purpose register written (cached)."""
+        dst = self.writes_register()
+        return None if dst is None else dst.index
+
+    @cached_property
+    def dst_pred_index(self) -> Optional[int]:
+        """Index of the predicate register written (cached)."""
+        dst = self.writes_predicate()
+        return None if dst is None else dst.index
 
     def __str__(self) -> str:
         parts = []

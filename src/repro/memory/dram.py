@@ -241,6 +241,10 @@ class DramChannel:
         """Requests waiting, in service, or completed but not yet drained."""
         return len(self._queue) + len(self._in_service) + len(self._completed_reads)
 
+    def has_completed_reads(self) -> bool:
+        """Whether a completed read is waiting to be drained."""
+        return bool(self._completed_reads)
+
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------
@@ -253,6 +257,8 @@ class DramChannel:
 
     def cycle(self, now: int) -> None:
         """Complete finished accesses and start at most one new access."""
+        if not self._queue and not self._in_service:
+            return
         while self._in_service and self._in_service[0][0] <= now:
             finish, _, request = heapq.heappop(self._in_service)
             if request.is_read:

@@ -80,6 +80,7 @@ class Interconnect:
             for d in range(num_destinations)
         ]
         self._sequence = itertools.count()
+        self._in_flight_count = 0
         self.stats = StatCounters(prefix=name)
 
     # ------------------------------------------------------------------
@@ -112,6 +113,7 @@ class Interconnect:
             self._in_flight[destination],
             (arrival, next(self._sequence), payload),
         )
+        self._in_flight_count += 1
         self.stats.add("injected")
 
     # ------------------------------------------------------------------
@@ -119,8 +121,12 @@ class Interconnect:
     # ------------------------------------------------------------------
     def cycle(self, now: int) -> None:
         """Move arrived packets into destination output queues."""
+        if not self._in_flight_count:
+            return
         for destination in range(self.num_destinations):
             heap = self._in_flight[destination]
+            if not heap:
+                continue
             output = self._outputs[destination]
             accepted = 0
             while (
@@ -130,11 +136,16 @@ class Interconnect:
                 and not output.full()
             ):
                 _, _, payload = heapq.heappop(heap)
+                self._in_flight_count -= 1
                 output.push(payload)
                 accepted += 1
                 self.stats.add("delivered")
             if heap and heap[0][0] <= now and output.full():
                 self.stats.add("output_blocked_cycles")
+
+    def has_output(self, destination: int) -> bool:
+        """Whether a delivered packet is waiting at ``destination``."""
+        return bool(self._outputs[destination])
 
     def peek(self, destination: int) -> Optional[object]:
         """Oldest delivered packet waiting at ``destination``, if any."""
@@ -157,12 +168,14 @@ class Interconnect:
 
     def next_event_time(self, now: int) -> Optional[int]:
         """Earliest future cycle at which this network needs to do work."""
-        best: Optional[int] = None
-        for destination in range(self.num_destinations):
-            if self._outputs[destination]:
+        for output in self._outputs:
+            if output:
                 return now + 1
-            heap = self._in_flight[destination]
+        if not self._in_flight_count:
+            return None
+        best: Optional[int] = None
+        for heap in self._in_flight:
             if heap:
-                candidate = max(heap[0][0], now + 1)
-                best = candidate if best is None else min(best, candidate)
-        return best
+                arrival = heap[0][0]
+                best = arrival if best is None else min(best, arrival)
+        return max(best, now + 1)

@@ -104,6 +104,8 @@ class L2Slice:
     def cycle(self, now: int, dram: DramChannel,
               return_queue: BoundedQueue) -> None:
         """Complete hits whose data is ready and process one new request."""
+        if not self._pending_hits and not self.request_queue:
+            return
         while (
             self._pending_hits
             and self._pending_hits[0][0] <= now

@@ -105,13 +105,22 @@ class MemoryPartition:
     # Per-cycle processing
     # ------------------------------------------------------------------
     def cycle(self, now: int) -> None:
-        """Advance the partition by one cycle."""
-        self._drain_overflow()
-        self._drain_dram_completions(now)
+        """Advance the partition by one cycle.
+
+        Quiescent sub-components are skipped: every step below is a pure
+        no-op (no state change, no counters) when its input state is
+        empty, so the guards are behaviour-identical to ticking
+        unconditionally.
+        """
+        if self._fill_overflow:
+            self._drain_overflow()
+        if self.dram.has_completed_reads():
+            self._drain_dram_completions(now)
         if self.l2 is not None:
             self.l2.cycle(now, self.dram, self.return_queue)
         self.dram.cycle(now)
-        self._drain_rop(now)
+        if self._rop_queue:
+            self._drain_rop(now)
 
     def _drain_overflow(self) -> None:
         while self._fill_overflow and not self.return_queue.full():
@@ -170,17 +179,29 @@ class MemoryPartition:
         )
 
     def next_event_time(self, now: int) -> Optional[int]:
-        """Earliest future cycle at which this partition needs attention."""
-        candidates = []
+        """Earliest future cycle at which this partition needs attention.
+
+        ``now + 1`` is the earliest representable event, so the checks
+        short-circuit as soon as any component reports it.
+        """
+        soon = now + 1
         if self.return_queue or self._fill_overflow:
-            candidates.append(now + 1)
+            return soon
+        best: Optional[int] = None
         if self._rop_queue:
-            candidates.append(max(self._rop_queue[0][0], now + 1))
+            ready = self._rop_queue[0][0]
+            if ready <= soon:
+                return soon
+            best = ready
         if self.l2 is not None:
             l2_next = self.l2.next_event_time(now)
             if l2_next is not None:
-                candidates.append(l2_next)
+                if l2_next <= soon:
+                    return soon
+                best = l2_next if best is None else min(best, l2_next)
         dram_next = self.dram.next_event_time(now)
         if dram_next is not None:
-            candidates.append(dram_next)
-        return min(candidates) if candidates else None
+            if dram_next <= soon:
+                return soon
+            best = dram_next if best is None else min(best, dram_next)
+        return best

@@ -25,8 +25,24 @@ from repro.utils.errors import ConfigurationError
 from repro.utils.stats import StatCounters
 
 
+#: Sentinel wake-up time for a fully quiescent memory system.
+_NEVER = float("inf")
+
+
 class MemorySystem:
-    """Interconnect + memory partitions, shared by all SMs."""
+    """Interconnect + memory partitions, shared by all SMs.
+
+    Unless constructed with ``reference_core=True``, :meth:`cycle` skips
+    its body entirely while the system is quiescent: after every
+    processed cycle the earliest future cycle at which any component can
+    change state is cached (via the same logic as
+    :meth:`next_event_time`), and calls before that wake-up time return
+    immediately.  :meth:`try_inject` lowers the wake-up time, so new
+    traffic from the SMs is never missed.  A skipped cycle is provably a
+    no-op — every component's per-cycle handler neither mutates state
+    nor touches a stat counter before its next event time — so the fast
+    and reference paths produce byte-identical results.
+    """
 
     def __init__(
         self,
@@ -36,6 +52,7 @@ class MemorySystem:
         partition_config: PartitionConfig,
         tracker: LatencyTracker,
         reply_inject_per_cycle: int = 1,
+        reference_core: bool = False,
     ) -> None:
         if num_sms < 1:
             raise ConfigurationError("memory system needs at least one SM")
@@ -60,6 +77,8 @@ class MemorySystem:
             name="icnt_rep",
         )
         self.stats = StatCounters(prefix="memsys")
+        self.reference_core = reference_core
+        self._wake: float = 0
 
     # ------------------------------------------------------------------
     # SM-facing interface
@@ -82,6 +101,8 @@ class MemorySystem:
         self.tracker.record_event(request, Event.ICNT_INJECT, now)
         self.request_network.inject(sm_id, destination, request, now)
         self.stats.add("requests_injected")
+        if now + 1 < self._wake:
+            self._wake = now + 1
         return True
 
     def pop_response(self, sm_id: int) -> Optional[MemoryRequest]:
@@ -91,32 +112,72 @@ class MemorySystem:
             self.stats.add("responses_delivered")
         return response
 
+    def has_response(self, sm_id: int) -> bool:
+        """Whether a response for ``sm_id`` is waiting to be popped."""
+        return self.reply_network.has_output(sm_id)
+
     # ------------------------------------------------------------------
     # Per-cycle processing
     # ------------------------------------------------------------------
     def cycle(self, now: int) -> None:
-        """Advance the networks and all partitions by one cycle."""
-        self.request_network.cycle(now)
+        """Advance the networks and all partitions by one cycle.
+
+        In fast mode (``reference_core=False``) the body is skipped while
+        ``now`` is before the cached wake-up time — see the class
+        docstring for why that is behaviour-identical.
+        """
+        if now < self._wake and not self.reference_core:
+            return
+        request_network = self.request_network
+        request_network.cycle(now)
         for partition in self.partitions:
-            while partition.can_accept():
-                request = self.request_network.peek(partition.partition_id)
-                if request is None:
-                    break
-                self.request_network.pop(partition.partition_id)
-                partition.accept(request, now)
+            if request_network.has_output(partition.partition_id):
+                while partition.can_accept():
+                    request = request_network.peek(partition.partition_id)
+                    if request is None:
+                        break
+                    request_network.pop(partition.partition_id)
+                    partition.accept(request, now)
             partition.cycle(now)
-            injected = 0
-            while (
-                injected < self.reply_inject_per_cycle
-                and partition.return_queue
-                and self.reply_network.can_inject(partition.return_queue.peek().sm_id)
-            ):
-                response = partition.return_queue.pop()
-                self.reply_network.inject(
-                    partition.partition_id, response.sm_id, response, now
-                )
-                injected += 1
+            if partition.return_queue:
+                injected = 0
+                while (
+                    injected < self.reply_inject_per_cycle
+                    and partition.return_queue
+                    and self.reply_network.can_inject(
+                        partition.return_queue.peek().sm_id)
+                ):
+                    response = partition.return_queue.pop()
+                    self.reply_network.inject(
+                        partition.partition_id, response.sm_id, response, now
+                    )
+                    injected += 1
         self.reply_network.cycle(now)
+        if not self.reference_core:
+            self._wake = self._compute_wake(now)
+
+    def _compute_wake(self, now: int) -> float:
+        """Earliest future cycle the body must run again (inf when idle).
+
+        The single enumeration of wake sources — :meth:`next_event_time`
+        delegates here — with an early exit once any component reports
+        ``now + 1`` (nothing can be earlier).
+        """
+        soon = now + 1
+        best: float = _NEVER
+        for network in (self.request_network, self.reply_network):
+            event_time = network.next_event_time(now)
+            if event_time is not None:
+                if event_time <= soon:
+                    return soon
+                best = min(best, event_time)
+        for partition in self.partitions:
+            event_time = partition.next_event_time(now)
+            if event_time is not None:
+                if event_time <= soon:
+                    return soon
+                best = min(best, event_time)
+        return best
 
     # ------------------------------------------------------------------
     # Introspection
@@ -131,16 +192,8 @@ class MemorySystem:
 
     def next_event_time(self, now: int) -> Optional[int]:
         """Earliest future cycle at which the memory system needs attention."""
-        candidates = []
-        for network in (self.request_network, self.reply_network):
-            event_time = network.next_event_time(now)
-            if event_time is not None:
-                candidates.append(event_time)
-        for partition in self.partitions:
-            event_time = partition.next_event_time(now)
-            if event_time is not None:
-                candidates.append(event_time)
-        return min(candidates) if candidates else None
+        wake = self._compute_wake(now)
+        return None if wake == _NEVER else int(wake)
 
     def collect_stats(self) -> StatCounters:
         """Aggregate statistics from all components into one collection."""

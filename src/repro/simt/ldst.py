@@ -183,6 +183,10 @@ class LoadStoreUnit:
     # ------------------------------------------------------------------
     # Writeback processing (called early in the SM cycle)
     # ------------------------------------------------------------------
+    def has_pending_writebacks(self) -> bool:
+        """Whether any writeback is scheduled (due now or later)."""
+        return bool(self._writebacks)
+
     def process_writebacks(self, now: int) -> None:
         """Complete requests whose writeback time has been reached."""
         while self._writebacks and self._writebacks[0][0] <= now:
@@ -214,11 +218,19 @@ class LoadStoreUnit:
     # Backend processing
     # ------------------------------------------------------------------
     def cycle(self, now: int) -> None:
-        """Advance the LD/ST pipelines by one cycle."""
+        """Advance the LD/ST pipelines by one cycle.
+
+        Each stage is guarded by its input state; a skipped stage is a
+        pure no-op in the unguarded version (no state change, no stat
+        counters), so the guards are behaviour-neutral.
+        """
         self._accept_responses(now)
-        self._access_l1(now)
-        self._drain_miss_queue(now)
-        self._generate_accesses(now)
+        if self.l1_access_queue:
+            self._access_l1(now)
+        if self.miss_queue:
+            self._drain_miss_queue(now)
+        if self.instruction_queue:
+            self._generate_accesses(now)
 
     def _accept_responses(self, now: int) -> None:
         while True:

@@ -30,18 +30,22 @@ class Scoreboard:
 
     def has_hazard(self, instruction: Instruction) -> bool:
         """Whether ``instruction`` must wait for an outstanding write."""
-        for reg in instruction.reads_registers():
-            if reg.index in self._busy_regs:
+        busy_regs = self._busy_regs
+        if busy_regs:
+            for index in instruction.src_reg_indices:
+                if index in busy_regs:
+                    return True
+            dst_reg = instruction.dst_reg_index
+            if dst_reg is not None and dst_reg in busy_regs:
                 return True
-        for pred in instruction.reads_predicates():
-            if pred.index in self._busy_preds:
+        busy_preds = self._busy_preds
+        if busy_preds:
+            for index in instruction.src_pred_indices:
+                if index in busy_preds:
+                    return True
+            dst_pred = instruction.dst_pred_index
+            if dst_pred is not None and dst_pred in busy_preds:
                 return True
-        dst_reg = instruction.writes_register()
-        if dst_reg is not None and dst_reg.index in self._busy_regs:
-            return True
-        dst_pred = instruction.writes_predicate()
-        if dst_pred is not None and dst_pred.index in self._busy_preds:
-            return True
         return False
 
     def reserve(self, instruction: Instruction) -> None:

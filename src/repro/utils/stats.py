@@ -3,11 +3,20 @@
 Components expose behavioural counters (cache hits, row-buffer hits,
 issue stalls, ...) through a :class:`StatCounters` instance.  The GPU
 top-level aggregates them into a single report after a kernel completes.
+
+Counters are **slot interned**: each distinct counter name is assigned a
+stable integer slot on first use and the values live in a plain list
+indexed by slot.  Hot components resolve the slot once (``slot()``) and
+bump it with :meth:`inc`, which skips the per-increment string hashing a
+dict-backed counter pays; the string-keyed :meth:`add`/:meth:`set`/
+:meth:`get` surface and :meth:`as_dict` are unchanged.  A slot that has
+been interned but never incremented does not appear in :meth:`as_dict`,
+so pre-interning slots at construction time is free.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 
 class StatCounters:
@@ -17,36 +26,76 @@ class StatCounters:
     conveniences for merging and pretty-printing.
     """
 
+    __slots__ = ("prefix", "_index", "_values")
+
     def __init__(self, prefix: str = "") -> None:
         self.prefix = prefix
-        self._values: Dict[str, float] = {}
+        self._index: Dict[str, int] = {}
+        #: Per-slot values; ``None`` marks an interned-but-untouched slot,
+        #: which keeps pre-interning invisible to ``as_dict()``.
+        self._values: List[Optional[float]] = []
 
+    # ------------------------------------------------------------------
+    # Slot-based fast path
+    # ------------------------------------------------------------------
+    def slot(self, name: str) -> int:
+        """Intern ``name`` and return its stable slot index.
+
+        Interning alone does not create the counter: it only appears in
+        :meth:`as_dict` (with the value accumulated so far) once it has
+        been touched by :meth:`inc`, :meth:`add`, or :meth:`set`.
+        """
+        index = self._index.get(name)
+        if index is None:
+            index = len(self._values)
+            self._index[name] = index
+            self._values.append(None)
+        return index
+
+    def inc(self, slot: int, amount: float = 1) -> None:
+        """Increment the counter at ``slot`` (from :meth:`slot`)."""
+        value = self._values[slot]
+        self._values[slot] = amount if value is None else value + amount
+
+    # ------------------------------------------------------------------
+    # String-keyed surface (unchanged semantics)
+    # ------------------------------------------------------------------
     def add(self, name: str, amount: float = 1) -> None:
         """Increment counter ``name`` by ``amount`` (creating it at zero)."""
-        self._values[name] = self._values.get(name, 0) + amount
+        self.inc(self.slot(name), amount)
 
     def set(self, name: str, value: float) -> None:
         """Set counter ``name`` to ``value`` directly."""
-        self._values[name] = value
+        self._values[self.slot(name)] = value
 
     def get(self, name: str, default: float = 0) -> float:
         """Return the value of ``name`` or ``default`` when absent."""
-        return self._values.get(name, default)
+        index = self._index.get(name)
+        if index is None:
+            return default
+        value = self._values[index]
+        return default if value is None else value
 
     def __getitem__(self, name: str) -> float:
-        return self._values.get(name, 0)
+        return self.get(name, 0)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._values
+        index = self._index.get(name)
+        return index is not None and self._values[index] is not None
 
     def __iter__(self) -> Iterator[Tuple[str, float]]:
-        return iter(sorted(self._values.items()))
+        return iter(sorted(self._items()))
+
+    def _items(self) -> Iterator[Tuple[str, float]]:
+        values = self._values
+        return ((name, values[index]) for name, index in self._index.items()
+                if values[index] is not None)
 
     def as_dict(self) -> Dict[str, float]:
         """Return a copy of all counters, optionally prefixed."""
         if not self.prefix:
-            return dict(self._values)
-        return {f"{self.prefix}.{k}": v for k, v in self._values.items()}
+            return dict(self._items())
+        return {f"{self.prefix}.{k}": v for k, v in self._items()}
 
     def merge(self, other: Mapping[str, float]) -> None:
         """Add all counters from ``other`` into this collection."""
@@ -56,10 +105,11 @@ class StatCounters:
     def report(self) -> str:
         """Return a human-readable multi-line report of all counters."""
         lines = []
-        for key, value in sorted(self._values.items()):
+        for key, value in sorted(self._items()):
             shown = int(value) if float(value).is_integer() else round(value, 4)
             lines.append(f"{self.prefix + '.' if self.prefix else ''}{key} = {shown}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"StatCounters({self.prefix!r}, {len(self._values)} counters)"
+        count = sum(1 for _ in self._items())
+        return f"StatCounters({self.prefix!r}, {count} counters)"

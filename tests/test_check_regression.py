@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from benchmarks.check_regression import load_means, main
+from benchmarks.check_regression import load_means, main, write_step_summary
 
 
 def write_bench(path, means):
@@ -18,6 +18,12 @@ def write_bench(path, means):
 
 BASE = {"bench/a.py::test_a": 1.0, "bench/b.py::test_b": 2.0,
         "bench/c.py::test_c": 4.0, "bench/d.py::test_d": 0.5}
+
+
+@pytest.fixture(autouse=True)
+def isolate_step_summary(monkeypatch):
+    """Keep unit-test runs of main() out of any real CI step summary."""
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
 
 
 class TestLoadMeans:
@@ -89,3 +95,48 @@ class TestCompare:
         current["bench/e.py::test_new"] = 9.9
         assert self._run(tmp_path, current) == 0
         assert "not gated" in capsys.readouterr().out
+
+
+class TestStepSummary:
+    def test_noop_without_summary_env(self, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        assert not write_step_summary("anything")
+
+    def _summary_after_run(self, tmp_path, monkeypatch, current):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        write_bench(baseline_path, BASE)
+        write_bench(current_path, current)
+        code = main(["--baseline", str(baseline_path),
+                     "--current", str(current_path)])
+        return code, summary.read_text()
+
+    def test_markdown_table_written_on_pass(self, tmp_path, monkeypatch):
+        current = dict(BASE)
+        current["bench/a.py::test_a"] = 0.4  # a speedup
+        current["bench/e.py::test_new"] = 9.9  # ungated newcomer
+        code, text = self._summary_after_run(tmp_path, monkeypatch, current)
+        assert code == 0
+        assert "## Benchmark comparison" in text
+        assert "| benchmark | baseline (s) | current (s) |" in text
+        assert "`bench/a.py::test_a`" in text
+        assert ":zap: faster" in text
+        assert ":new: not gated" in text
+        assert "within threshold" in text
+
+    def test_markdown_table_flags_regressions(self, tmp_path, monkeypatch):
+        current = dict(BASE)
+        current["bench/b.py::test_b"] *= 1.8
+        code, text = self._summary_after_run(tmp_path, monkeypatch, current)
+        assert code == 1
+        assert ":x: regression" in text
+        assert "regressed beyond" in text
+
+    def test_appends_to_existing_summary(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        summary.write_text("earlier step\n")
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert write_step_summary("benchmark table\n")
+        assert summary.read_text() == "earlier step\nbenchmark table\n"

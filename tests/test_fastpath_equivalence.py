@@ -1,0 +1,244 @@
+"""Golden equivalence tests: fast simulation core vs the reference core.
+
+The simulator's hot path (per-scheduler ready sets, event-skipped memory
+components, wake-time-cached memory system) must be *byte-identical* to
+the straight-line reference loop kept behind
+``GPUConfig(reference_core=True)``.  These tests pin that property:
+
+* every registered workload, run on a calibrated preset, produces the
+  same :class:`KernelResult` sequence (cycles, instructions, and the full
+  stats dict) on both cores;
+* every registered GPU configuration agrees between the two cores;
+* hypothesis-generated random small kernels (arithmetic hazard chains,
+  divergent branches, global/shared memory traffic, barriers) agree;
+* ``next_event_time`` never reports an event in the past — the invariant
+  the idle fast-forward and the wake-time cache both rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import Experiment, Session
+from repro.gpu import GPU, available_configs, get_config
+from repro.isa.builder import KernelBuilder
+from repro.memory.globalmem import WORD_SIZE
+from repro.workloads import create_workload
+from tests.conftest import make_fast_config
+
+#: Small problem sizes so the (slow) reference runs stay cheap.  The
+#: coverage test below fails if a newly registered workload is missing.
+WORKLOAD_PARAMS = {
+    "vecadd": {"n": 512, "block_dim": 64},
+    "bfs": {"num_nodes": 192, "avg_degree": 6, "block_dim": 64, "seed": 7},
+    "matmul": {"n": 16, "block_dim": 64},
+    "reduction": {"n": 1024, "block_dim": 128},
+    "spmv": {"num_rows": 96, "nnz_per_row": 6},
+    "stencil": {"n": 512, "block_dim": 128},
+    "pointer_chase": {"footprint_bytes": 4096, "stride_bytes": 128,
+                      "n_accesses": 64},
+}
+
+
+def run_workload(config, workload_name, params):
+    gpu = GPU(config)
+    workload = create_workload(workload_name, **params)
+    results = workload.run(gpu)
+    assert workload.verify(gpu)
+    return results
+
+
+def assert_results_identical(fast_results, reference_results):
+    assert len(fast_results) == len(reference_results)
+    for fast, reference in zip(fast_results, reference_results):
+        assert fast.kernel_name == reference.kernel_name
+        assert fast.cycles == reference.cycles
+        assert fast.instructions == reference.instructions
+        assert fast.start_cycle == reference.start_cycle
+        assert fast.end_cycle == reference.end_cycle
+        assert fast.stats == reference.stats
+        # Byte-identical, not merely dict-equal.
+        assert (json.dumps(fast.stats, sort_keys=True)
+                == json.dumps(reference.stats, sort_keys=True))
+
+
+def compare_cores(config_name, workload_name, params):
+    fast = run_workload(get_config(config_name), workload_name, params)
+    reference = run_workload(
+        get_config(config_name).replace(reference_core=True),
+        workload_name, params)
+    assert_results_identical(fast, reference)
+
+
+class TestWorkloadEquivalence:
+    def test_every_registered_workload_has_golden_params(self):
+        from repro.workloads import available_workloads
+
+        missing = set(available_workloads()) - set(WORKLOAD_PARAMS)
+        assert not missing, (
+            f"add golden equivalence parameters for {sorted(missing)}"
+        )
+
+    @pytest.mark.parametrize("workload_name", sorted(WORKLOAD_PARAMS))
+    def test_workload_identical_on_both_cores(self, workload_name):
+        compare_cores("gf100", workload_name, WORKLOAD_PARAMS[workload_name])
+
+
+class TestConfigEquivalence:
+    @pytest.mark.parametrize("config_name", sorted(available_configs()))
+    def test_config_identical_on_both_cores(self, config_name):
+        compare_cores(config_name, "vecadd", {"n": 256, "block_dim": 64})
+
+    @pytest.mark.parametrize("config_name", ["gt200", "gm107"])
+    def test_no_l1_configs_on_bfs(self, config_name):
+        compare_cores(config_name, "bfs",
+                      {"num_nodes": 128, "avg_degree": 5, "block_dim": 64,
+                       "seed": 11})
+
+    @pytest.mark.parametrize("scheduler", ["lrr", "gto"])
+    def test_both_warp_schedulers(self, scheduler):
+        import dataclasses
+
+        base = make_fast_config(
+            core=dataclasses.replace(make_fast_config().core,
+                                     warp_scheduler=scheduler))
+        fast = run_workload(base, "bfs",
+                            {"num_nodes": 128, "avg_degree": 5,
+                             "block_dim": 64, "seed": 5})
+        reference = run_workload(base.replace(reference_core=True), "bfs",
+                                 {"num_nodes": 128, "avg_degree": 5,
+                                  "block_dim": 64, "seed": 5})
+        assert_results_identical(fast, reference)
+
+
+class TestSessionEquivalence:
+    def test_session_payloads_byte_identical(self):
+        spec = Experiment.dynamic("gf100", "vecadd", n=256, block_dim=64)
+        fast = Session(cache=False).run(spec)
+        reference = Session(cache=False, reference_core=True).run(spec)
+        assert (json.dumps(fast.payload, sort_keys=True)
+                == json.dumps(reference.payload, sort_keys=True))
+
+    def test_session_reference_flag_rewrites_configs(self):
+        session = Session(reference_core=True)
+        assert session.resolve_config("gf100").reference_core
+        assert not Session().resolve_config("gf100").reference_core
+
+
+def build_random_kernel(ops, block_dim):
+    """Assemble a small kernel from a drawn op list.
+
+    ``r0`` holds each thread's private global-memory slot (two words per
+    thread so a drawn offset of one word stays in bounds); ``r1``-``r3``
+    form an arithmetic/hazard chain that the drawn ops read and write.
+    """
+    builder = KernelBuilder("random")
+    base = builder.param("base")
+    slot = builder.reg()
+    builder.imad(slot, builder.gtid, 2 * WORD_SIZE, base)
+    regs = [builder.reg() for _ in range(3)]
+    builder.mov(regs[0], builder.tid)
+    builder.mov(regs[1], builder.laneid)
+    builder.mov(regs[2], 1.0)
+    shared = builder.shared_alloc(block_dim * WORD_SIZE)
+    shared_addr = builder.reg()
+    builder.imad(shared_addr, builder.tid, WORD_SIZE, shared)
+    predicate = builder.pred()
+    for kind, a, b in ops:
+        dst = regs[a]
+        src = regs[b]
+        if kind == "iadd":
+            builder.iadd(dst, src, regs[(b + 1) % 3])
+        elif kind == "ffma":
+            builder.ffma(dst, src, 2.0, regs[(a + 1) % 3])
+        elif kind == "sfu":
+            builder.fsqrt(dst, src)
+        elif kind == "load":
+            builder.ld_global(dst, slot, offset=(b % 2) * WORD_SIZE)
+        elif kind == "store":
+            builder.st_global(slot, src, offset=(a % 2) * WORD_SIZE)
+        elif kind == "shared":
+            builder.st_shared(shared_addr, src)
+            builder.bar()
+            builder.ld_shared(dst, shared_addr)
+        elif kind == "branch":
+            builder.setp(predicate, "lt", builder.laneid, 8 + 4 * a)
+            with builder.if_(predicate):
+                builder.iadd(dst, src, 3)
+        elif kind == "bar":
+            builder.bar()
+    return builder.build()
+
+
+OP_STRATEGY = st.tuples(
+    st.sampled_from(["iadd", "ffma", "sfu", "load", "store", "shared",
+                     "branch", "bar"]),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=2),
+)
+
+
+class TestRandomKernelEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        ops=st.lists(OP_STRATEGY, min_size=1, max_size=10),
+        grid_dim=st.integers(min_value=1, max_value=3),
+        block_dim=st.sampled_from([32, 64]),
+    )
+    def test_random_kernel_identical_on_both_cores(self, ops, grid_dim,
+                                                   block_dim):
+        program = build_random_kernel(ops, block_dim)
+
+        def run(reference_core):
+            gpu = GPU(make_fast_config(reference_core=reference_core))
+            base = gpu.allocate(grid_dim * block_dim * 2 * WORD_SIZE)
+            return gpu.launch(program, grid_dim=grid_dim,
+                              block_dim=block_dim, params={"base": base})
+
+        assert_results_identical([run(False)], [run(True)])
+
+
+class TestNextEventTimeInvariant:
+    def test_next_event_time_never_in_the_past(self, monkeypatch):
+        """Every component's next event is strictly after ``now``.
+
+        Checked live at every idle fast-forward decision of a real
+        (memory-heavy) run, which is exactly where a stale or past event
+        time would corrupt the simulation clock.
+        """
+        from repro.gpu.gpu import GPU as GPUClass
+
+        original = GPUClass._advance_clock
+        checked_cycles = []
+
+        def checked(self, issued):
+            now = self.cycle
+            components = [self.memory_system,
+                          self.memory_system.request_network,
+                          self.memory_system.reply_network]
+            components.extend(self.memory_system.partitions)
+            components.extend(
+                partition.dram for partition in self.memory_system.partitions)
+            components.extend(
+                partition.l2 for partition in self.memory_system.partitions
+                if partition.l2 is not None)
+            components.extend(self.sms)
+            components.extend(sm.ldst for sm in self.sms)
+            for component in components:
+                event_time = component.next_event_time(now)
+                assert event_time is None or event_time >= now + 1, (
+                    f"{type(component).__name__} reported event at "
+                    f"{event_time} when now={now}"
+                )
+            checked_cycles.append(now)
+            return original(self, issued)
+
+        monkeypatch.setattr(GPUClass, "_advance_clock", checked)
+        run_workload(make_fast_config(), "bfs",
+                     {"num_nodes": 128, "avg_degree": 5, "block_dim": 64,
+                      "seed": 17})
+        assert checked_cycles
