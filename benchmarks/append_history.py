@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Append a compact benchmark-history entry to the trend file.
+
+The scheduled CI benchmark job runs the suite with ``--benchmark-json``
+and calls this script to distil the result into one JSON line appended
+to ``benchmarks/history/trend.jsonl`` (which the job then commits), so
+the repository carries its own performance trajectory between PRs.  One
+entry records the date, the commit, every benchmark's mean seconds, and
+— when a committed baseline is given — the geometric-mean raw speedup
+versus it (the same statistic ``check_regression.py`` prints), giving a
+single drift-tolerant number to plot over time.
+
+Usage::
+
+    python benchmarks/append_history.py \
+        --input bench-results.json \
+        --history benchmarks/history/trend.jsonl \
+        [--commit SHA] [--date YYYY-MM-DD] \
+        [--baseline benchmarks/baseline.json]
+
+Exit codes: 0 = entry appended, 2 = bad input files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import statistics
+import sys
+from typing import Any, Dict, Optional
+
+# Allow both `python benchmarks/append_history.py` and package import.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.check_regression import load_means  # noqa: E402
+
+
+def build_entry(means: Dict[str, float],
+                commit: Optional[str] = None,
+                date: Optional[str] = None,
+                baseline: Optional[Dict[str, float]] = None
+                ) -> Dict[str, Any]:
+    """One compact trend entry (JSON-native types only).
+
+    Means are shortened to six significant digits — benchmark noise is
+    far above that — to keep the accumulated history small.  The
+    geomean speedup is computed over the benchmarks shared with the
+    baseline and is ``None`` when no baseline (or no overlap) is given.
+    """
+    speedup = None
+    if baseline:
+        shared = sorted(set(means) & set(baseline))
+        if shared:
+            speedup = round(1.0 / statistics.geometric_mean(
+                [means[name] / baseline[name] for name in shared]), 4)
+    entry: Dict[str, Any] = {
+        "date": date or datetime.date.today().isoformat(),
+        "commit": commit,
+        "benchmarks": {name: float(f"{mean:.6g}")
+                       for name, mean in sorted(means.items())},
+        "geomean_speedup_vs_baseline": speedup,
+    }
+    return entry
+
+
+def append_entry(entry: Dict[str, Any], history_path: str) -> None:
+    """Append ``entry`` as one canonical-JSON line to the history file."""
+    path = pathlib.Path(history_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True,
+                                separators=(",", ":")))
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append a compact benchmark trend entry")
+    parser.add_argument("--input", required=True,
+                        help="pytest-benchmark JSON from this run")
+    parser.add_argument("--history", required=True,
+                        help="trend JSONL file to append to")
+    parser.add_argument("--commit", default=None,
+                        help="commit SHA the benchmarks ran on")
+    parser.add_argument("--date", default=None,
+                        help="ISO date of the run (default: today)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline JSON for the geomean "
+                             "speedup statistic")
+    args = parser.parse_args(argv)
+
+    means = load_means(args.input)
+    baseline = load_means(args.baseline) if args.baseline else None
+    entry = build_entry(means, commit=args.commit, date=args.date,
+                        baseline=baseline)
+    append_entry(entry, args.history)
+    print(f"appended trend entry ({len(means)} benchmark(s), "
+          f"date {entry['date']}, "
+          f"geomean speedup vs baseline: "
+          f"{entry['geomean_speedup_vs_baseline']}) to {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,9 +18,9 @@ used.)
 
 When ``$GITHUB_STEP_SUMMARY`` is set (as it is inside GitHub Actions),
 the comparison is additionally appended there as a markdown table —
-per-benchmark baseline vs current mean plus the drift-corrected ratio —
-so speedups and regressions are visible on the run's summary page
-without downloading artifacts.
+per-benchmark baseline vs current mean, the drift-corrected ratio, and
+the signed delta-vs-baseline percentage — so speedups and regressions
+are visible on the run's summary page without downloading artifacts.
 
 Usage::
 
@@ -81,11 +81,12 @@ def format_markdown_summary(
         f"**{threshold:.2f}x**",
         "",
         "| benchmark | baseline (s) | current (s) | corrected ratio "
-        "| status |",
-        "|---|---:|---:|---:|---|",
+        "| delta vs baseline | status |",
+        "|---|---:|---:|---:|---:|---|",
     ]
     for name in shared:
         corrected = (current[name] / baseline[name]) / drift
+        delta = (corrected - 1.0) * 100.0
         if name in failures:
             status = ":x: regression"
         elif corrected < 1.0:
@@ -94,11 +95,12 @@ def format_markdown_summary(
             status = ":white_check_mark: ok"
         lines.append(
             f"| `{name}` | {baseline[name]:.4f} | {current[name]:.4f} "
-            f"| {corrected:.2f}x | {status} |"
+            f"| {corrected:.2f}x | {delta:+.1f}% | {status} |"
         )
     for name in added:
         lines.append(
-            f"| `{name}` | - | {current[name]:.4f} | - | :new: not gated |"
+            f"| `{name}` | - | {current[name]:.4f} | - | - "
+            f"| :new: not gated |"
         )
     if failures:
         lines += ["", f"**{len(failures)} benchmark(s) regressed beyond "

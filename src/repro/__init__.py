@@ -31,9 +31,26 @@ Ablation grids expand declaratively and round-trip through JSON::
         params={"num_nodes": [1024, 2048]}))
     runs.save("results.json")
 
+The latency-sensitivity subsystem (:mod:`repro.sensitivity`) runs the
+paper's signature perturbation experiment as one declarative sweep: a
+:class:`SensitivityStudy` applies composable, JSON round-trippable
+configuration transforms (``scale_dram_latency``,
+``scale_l2_hit_latency``, ``add_interconnect_hops``,
+``scale_mshr_count``, ``scale_max_warps``) across scale factors and
+fits tolerance metrics — the cycles-vs-injected-latency slope, the
+half-tolerance point, and the exposed-fraction curve::
+
+    result = SensitivityStudy(
+        config="gf106", workload="bfs",
+        transforms=("scale_dram_latency",), scales=(1, 2, 4, 8),
+        params={"num_nodes": 2048},
+    ).run(jobs=4)
+    print(result.curve("scale_dram_latency").metrics.half_tolerance_scale)
+
 The simulator substrate (``GPU``, ``KernelBuilder``, the workload classes)
-remains available for custom kernels; new configurations and workloads
-plug in through :func:`register_config` and :func:`register_workload`.
+remains available for custom kernels; new configurations, workloads, and
+transforms plug in through :func:`register_config`,
+:func:`register_workload`, and :func:`register_transform`.
 """
 
 from repro.core.breakdown import breakdown_from_tracker, compute_breakdown
@@ -64,6 +81,14 @@ from repro.gpu import (
     tesla_gt200,
 )
 from repro.isa import KernelBuilder, Program
+from repro.sensitivity import (
+    SensitivityResult,
+    SensitivityStudy,
+    Transform,
+    TransformChain,
+    available_transforms,
+    register_transform,
+)
 from repro.workloads import (
     BFSWorkload,
     MatMulWorkload,
@@ -94,12 +119,17 @@ __all__ = [
     "ReductionWorkload",
     "RunRecord",
     "RunSet",
+    "SensitivityResult",
+    "SensitivityStudy",
     "Session",
     "SpMVWorkload",
     "StencilWorkload",
+    "Transform",
+    "TransformChain",
     "VecAddWorkload",
     "Workload",
     "available_configs",
+    "available_transforms",
     "available_workloads",
     "breakdown_from_tracker",
     "compute_breakdown",
@@ -111,6 +141,7 @@ __all__ = [
     "kepler_gk104",
     "maxwell_gm107",
     "register_config",
+    "register_transform",
     "register_workload",
     "reproduce_table_i",
     "tesla_gt200",

@@ -8,12 +8,22 @@ from repro.analysis.report import (
     format_table,
     stacked_bar,
 )
+from repro.analysis.sensitivity_report import (
+    format_sensitivity_report,
+    metrics_summary,
+    sensitivity_table,
+    tolerance_chart,
+)
 
 __all__ = [
     "STAGE_GLYPHS",
     "breakdown_chart",
     "comparison_table",
     "exposure_chart",
+    "format_sensitivity_report",
     "format_table",
+    "metrics_summary",
+    "sensitivity_table",
     "stacked_bar",
+    "tolerance_chart",
 ]

@@ -1,0 +1,97 @@
+"""Plain-text rendering of latency-sensitivity study results.
+
+Renders a :class:`~repro.sensitivity.SensitivityResult` the same way the
+rest of the reproduction renders its figures: aligned text tables plus
+ASCII charts, no plotting dependencies.  All output is a pure function
+of the (deterministic) result object, so CLI output stays
+byte-deterministic across worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.report import format_table
+from repro.sensitivity.metrics import ToleranceMetrics
+from repro.sensitivity.study import SensitivityCurve, SensitivityResult
+
+
+def _fmt(value, digits: int = 2) -> str:
+    """Format an optional float ('-' for None)."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def sensitivity_table(curve: SensitivityCurve) -> str:
+    """One curve's sweep points as an aligned text table."""
+    baseline = curve.metrics.baseline_cycles
+    tolerance = dict(curve.metrics.tolerance_curve)
+    rows = []
+    for point in curve.points:
+        rows.append([
+            f"{point.scale:g}",
+            point.transform or "(baseline)",
+            str(point.injected_latency),
+            str(point.cycles),
+            f"{point.cycles / baseline:.3f}x" if baseline else "-",
+            f"{100.0 * point.exposed_fraction:.1f}",
+            _fmt(tolerance.get(point.scale), digits=3),
+        ])
+    return format_table(
+        ["scale", "transform", "injected (cyc)", "cycles", "slowdown",
+         "exposed %", "tolerance"],
+        rows,
+        title=f"Sensitivity sweep along {curve.transform.describe()}",
+    )
+
+
+def metrics_summary(metrics: ToleranceMetrics) -> str:
+    """The fitted headline metrics as compact text lines."""
+    if metrics.half_tolerance_scale is not None:
+        half = (f"scale {metrics.half_tolerance_scale:.2f} "
+                f"(~{_fmt(metrics.half_tolerance_injected, 0)} "
+                f"injected cycles)")
+    else:
+        half = "not reached in the swept range"
+    lines = [
+        f"baseline cycles:               {metrics.baseline_cycles}",
+        f"slope (cycles/scale):          "
+        f"{_fmt(metrics.slope_cycles_per_scale)}",
+        f"slope (cycles/injected cycle): "
+        f"{_fmt(metrics.slope_cycles_per_injected)}",
+        f"half-tolerance point:          {half}",
+    ]
+    return "\n".join(lines)
+
+
+def tolerance_chart(curve: SensitivityCurve, width: int = 50) -> str:
+    """ASCII chart: hidden (#) vs exposed (.) share of injected latency."""
+    lines = [
+        "Tolerance per sweep point (#=hidden share of injected latency)"
+    ]
+    for scale, tolerance in curve.metrics.tolerance_curve:
+        hidden_cols = int(round(tolerance * width))
+        bar = "#" * hidden_cols + "." * (width - hidden_cols)
+        lines.append(f"{format(scale, 'g'):>8s} |{bar}| {tolerance:.3f}")
+    if len(lines) == 1:
+        lines.append("  (no latency injected along this axis)")
+    return "\n".join(lines)
+
+
+def format_sensitivity_report(result: SensitivityResult) -> str:
+    """Render a complete study result: per-curve tables, charts, metrics."""
+    study = result.study
+    sections: List[str] = [
+        f"Latency-sensitivity study: {study.get('workload')} on "
+        f"{study.get('config')!r} "
+        f"(nominal unloaded DRAM round trip: "
+        f"{result.base_nominal_latency} cycles)"
+    ]
+    for index, curve in enumerate(result.curves):
+        block = [sensitivity_table(curve), "", tolerance_chart(curve), "",
+                 metrics_summary(curve.metrics)]
+        if index:
+            sections.append("=" * 72)
+        sections.append("\n".join(block))
+    return "\n\n".join(sections)

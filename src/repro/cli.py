@@ -24,6 +24,12 @@ benchmarks all exercise the same code path.
 ``repro run``
     Execute experiment spec(s) from a JSON file (an object or an array)
     and optionally persist the results as a JSON run set.
+``repro sensitivity``
+    Sweep one or more configuration transforms (``--transform``, e.g.
+    ``scale_dram_latency``) across scale factors (``--scales 1,2,4,8``)
+    for a workload x configuration pair and report the fitted latency
+    tolerance metrics (cycles-vs-injected-latency slope, half-tolerance
+    point, exposed-fraction curve).
 
 Each subcommand prints plain text; pass ``--help`` to any of them for its
 options.  Experiment subcommands accept ``--output FILE`` to save their
@@ -42,7 +48,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis import breakdown_chart, exposure_chart, format_table
+from repro.analysis import (
+    breakdown_chart,
+    exposure_chart,
+    format_sensitivity_report,
+    format_table,
+)
 from repro.experiments import (
     Experiment,
     RunRecord,
@@ -51,7 +62,12 @@ from repro.experiments import (
     parse_param_tokens,
 )
 from repro.gpu import available_configs, get_config
-from repro.utils.errors import ReproError
+from repro.sensitivity import (
+    TRANSFORM_REGISTRY,
+    SensitivityStudy,
+    available_transforms,
+)
+from repro.utils.errors import ExperimentError, ReproError
 from repro.workloads import WORKLOAD_REGISTRY, available_workloads
 
 
@@ -202,6 +218,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scales(text: str) -> List[float]:
+    """Parse the ``--scales`` option: a comma-separated list of numbers."""
+    try:
+        scales = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ExperimentError(
+            f"malformed --scales {text!r}; expected comma-separated "
+            f"numbers, e.g. 1,2,4,8"
+        ) from None
+    if not scales:
+        raise ExperimentError(f"--scales {text!r} names no scale factors")
+    return scales
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    study = SensitivityStudy(
+        config=args.config,
+        workload=args.workload,
+        transforms=tuple(args.transform or ["scale_dram_latency"]),
+        scales=tuple(_parse_scales(args.scales)),
+        params=parse_param_tokens(args.param or []),
+    )
+    progress = _progress_to_stderr if args.jobs > 1 else None
+    result = study.run(session=args.session, jobs=args.jobs,
+                       progress=progress)
+    print(format_sensitivity_report(result))
+    if args.output:
+        result.save(args.output)
+        print(f"\nsaved sensitivity result to {args.output}")
+    return 0
+
+
+def _cmd_transforms(args: argparse.Namespace) -> int:
+    rows = [[name, f"{TRANSFORM_REGISTRY.get(name).identity:g}",
+             TRANSFORM_REGISTRY.describe(name)]
+            for name in available_transforms()]
+    print(format_table(["name", "identity", "description"], rows,
+                       title="Registered configuration transforms"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -284,6 +341,39 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", help="save results as a JSON run set")
     add_reference_core_flag(run)
     run.set_defaults(func=_cmd_run)
+
+    transforms = subparsers.add_parser(
+        "transforms", help="list registered configuration transforms")
+    transforms.set_defaults(func=_cmd_transforms)
+
+    sensitivity = subparsers.add_parser(
+        "sensitivity",
+        help="latency-sensitivity sweep: perturb a configuration and fit "
+             "tolerance metrics")
+    sensitivity.add_argument(
+        "--config", default="gf106",
+        help="base configuration to perturb (see 'repro configs')")
+    sensitivity.add_argument(
+        "--workload", default="bfs",
+        help="workload to run at every sweep point (see 'repro workloads')")
+    sensitivity.add_argument(
+        "--transform", action="append", metavar="NAME[:VALUE][+NAME...]",
+        help="transform axis to sweep; repeatable, members compose with "
+             "'+' (default: scale_dram_latency; see 'repro transforms')")
+    sensitivity.add_argument(
+        "--scales", default="1,2,4,8", metavar="S1,S2,...",
+        help="comma-separated sweep scale factors (default: 1,2,4,8)")
+    sensitivity.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="workload parameter, e.g. --param num_nodes=2048 (repeatable)")
+    sensitivity.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes to shard the sweep points across "
+             "(default: 1, serial)")
+    sensitivity.add_argument(
+        "--output", help="save the sensitivity result as JSON")
+    add_reference_core_flag(sensitivity)
+    sensitivity.set_defaults(func=_cmd_sensitivity)
     return parser
 
 

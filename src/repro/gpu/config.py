@@ -4,13 +4,44 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from repro.memory.address import AddressMapping
 from repro.memory.interconnect import InterconnectConfig
 from repro.memory.partition import PartitionConfig
 from repro.simt.coreconfig import CoreConfig
 from repro.utils.errors import ConfigurationError
+
+
+def _replace_path(obj: Any, path: str, value: Any, context: str) -> Any:
+    """Rebuild ``obj`` with the dotted ``path`` replaced by ``value``.
+
+    Every dataclass along the path is rebuilt through
+    :func:`dataclasses.replace`, so each level's ``__post_init__``
+    validation re-runs and an invalid derived value surfaces as a
+    :class:`ConfigurationError` at derivation time rather than as a crash
+    mid-simulation.
+    """
+    head, _, rest = path.partition(".")
+    if not dataclasses.is_dataclass(obj) or obj is None:
+        raise ConfigurationError(
+            f"cannot derive {context!r}: {type(obj).__name__!r} has no "
+            f"replaceable field {head!r}"
+        )
+    if head not in {f.name for f in dataclasses.fields(obj)}:
+        raise ConfigurationError(
+            f"cannot derive {context!r}: {type(obj).__name__} has no "
+            f"field {head!r}"
+        )
+    if rest:
+        child = getattr(obj, head)
+        if child is None:
+            raise ConfigurationError(
+                f"cannot derive {context!r}: field {head!r} is None on "
+                f"this configuration"
+            )
+        value = _replace_path(child, rest, value, context)
+    return dataclasses.replace(obj, **{head: value})
 
 
 @dataclass(frozen=True)
@@ -68,6 +99,26 @@ class GPUConfig:
     def replace(self, **overrides) -> "GPUConfig":
         """Return a copy of this configuration with fields overridden."""
         return dataclasses.replace(self, **overrides)
+
+    def derive(self, overrides: Mapping[str, Any]) -> "GPUConfig":
+        """Return a copy with nested fields replaced by dotted path.
+
+        ``overrides`` maps dotted attribute paths to new values::
+
+            config.derive({"partition.dram.service_pad": 120,
+                           "core.max_warps": 24})
+
+        This is the frozen-dataclass-safe derivation primitive used by
+        :mod:`repro.sensitivity` transforms: every dataclass along each
+        path is rebuilt (never mutated), the whole sub-configuration
+        validation chain re-runs, and unknown paths or paths through
+        absent components (e.g. ``partition.l2`` on an L2-less
+        configuration) raise :class:`ConfigurationError`.
+        """
+        config: GPUConfig = self
+        for path, value in overrides.items():
+            config = _replace_path(config, path, value, context=path)
+        return config
 
     def total_l2_bytes(self) -> int:
         """Aggregate L2 capacity across all partitions (0 when disabled)."""

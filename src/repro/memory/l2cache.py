@@ -54,6 +54,10 @@ class L2SliceConfig:
     def __post_init__(self) -> None:
         if self.hit_latency < 1:
             raise ConfigurationError("L2 hit_latency must be >= 1")
+        if self.mshr_entries < 1:
+            raise ConfigurationError("L2 mshr_entries must be >= 1")
+        if self.mshr_max_merge < 0:
+            raise ConfigurationError("L2 mshr_max_merge must be >= 0")
         if self.input_queue_size < 1:
             raise ConfigurationError("L2 input_queue_size must be >= 1")
 

@@ -1,0 +1,92 @@
+"""Latency-sensitivity sweeps: config transforms + tolerance metrics.
+
+This subsystem turns the paper's central question — *how much memory
+latency does a GPU throughput core actually tolerate?* — into a
+one-command, parallel, deterministic experiment:
+
+* :mod:`repro.sensitivity.transforms` — declarative, JSON
+  round-trippable configuration perturbations (``scale_dram_latency``,
+  ``scale_l2_hit_latency``, ``add_interconnect_hops``,
+  ``scale_mshr_count``, ``scale_max_warps``; composable via
+  :class:`TransformChain`, extensible via :func:`register_transform`);
+* :mod:`repro.sensitivity.study` — :class:`SensitivityStudy` sweeps one
+  or more transform axes across scale factors for any registered
+  workload x configuration through the experiment layer (``jobs=N``
+  shards points across worker processes, byte-identically);
+* :mod:`repro.sensitivity.metrics` — fitted tolerance metrics:
+  cycles-vs-injected-latency slope, the half-tolerance point, and the
+  exposed-fraction curve (via :mod:`repro.core.exposure`).
+
+Typical usage::
+
+    from repro.sensitivity import SensitivityStudy
+
+    study = SensitivityStudy(
+        config="gf106", workload="bfs",
+        transforms=("scale_dram_latency",), scales=(1, 2, 4, 8),
+        params={"num_nodes": 2048, "avg_degree": 8},
+    )
+    result = study.run(jobs=4)
+    curve = result.curve("scale_dram_latency")
+    print(curve.metrics.slope_cycles_per_injected)
+    print(curve.metrics.half_tolerance_scale)
+
+The same sweep is ``repro sensitivity --config gf106 --workload bfs
+--transform scale_dram_latency --scales 1,2,4,8 --jobs 4`` on the
+command line, and :func:`repro.analysis.format_sensitivity_report`
+renders results as plain text.
+"""
+
+from repro.sensitivity.metrics import (
+    SensitivityPoint,
+    ToleranceMetrics,
+    fit_tolerance,
+    ols_slope,
+    tolerance_at,
+)
+from repro.sensitivity.study import (
+    SENSITIVITY_LABEL_PREFIX,
+    SensitivityCurve,
+    SensitivityResult,
+    SensitivityStudy,
+    chain_from_label,
+    chain_label,
+)
+from repro.sensitivity.transforms import (
+    INTERCONNECT_HOP_CYCLES,
+    TRANSFORM_REGISTRY,
+    Transform,
+    TransformChain,
+    TransformDef,
+    available_transforms,
+    injected_latency,
+    nominal_dram_latency,
+    parse_transform,
+    register_transform,
+    transform_def,
+)
+
+__all__ = [
+    "INTERCONNECT_HOP_CYCLES",
+    "SENSITIVITY_LABEL_PREFIX",
+    "SensitivityCurve",
+    "SensitivityPoint",
+    "SensitivityResult",
+    "SensitivityStudy",
+    "ToleranceMetrics",
+    "TRANSFORM_REGISTRY",
+    "Transform",
+    "TransformChain",
+    "TransformDef",
+    "available_transforms",
+    "chain_from_label",
+    "chain_label",
+    "fit_tolerance",
+    "injected_latency",
+    "nominal_dram_latency",
+    "ols_slope",
+    "parse_transform",
+    "register_transform",
+    "tolerance_at",
+    "transform_def",
+]

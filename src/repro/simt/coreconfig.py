@@ -39,6 +39,8 @@ class L1Config:
             raise ConfigurationError("L1 miss_queue_size must be >= 1")
         if self.mshr_entries < 1:
             raise ConfigurationError("L1 mshr_entries must be >= 1")
+        if self.mshr_max_merge < 0:
+            raise ConfigurationError("L1 mshr_max_merge must be >= 0")
 
     def caches_space(self, is_local: bool) -> bool:
         """Whether this L1 caches accesses from the given space."""
@@ -109,6 +111,12 @@ class CoreConfig:
             raise ConfigurationError("max_ctas must be >= 1")
         if self.num_schedulers < 1:
             raise ConfigurationError("num_schedulers must be >= 1")
+        if self.max_warps < self.num_schedulers:
+            raise ConfigurationError(
+                f"max_warps ({self.max_warps}) must be at least "
+                f"num_schedulers ({self.num_schedulers}); an SM needs one "
+                f"warp slot per scheduler"
+            )
         if self.alu_latency < 1 or self.sfu_latency < 1:
             raise ConfigurationError("pipeline latencies must be >= 1")
         if self.sm_base_latency < 1:

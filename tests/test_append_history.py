@@ -1,0 +1,77 @@
+"""Tests for the benchmark trend appender (benchmarks/append_history)."""
+
+import json
+
+import pytest
+
+from benchmarks.append_history import append_entry, build_entry, main
+
+
+def write_bench(path, means):
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ],
+    }))
+
+
+MEANS = {"bench/a.py::test_a": 1.23456789, "bench/b.py::test_b": 0.5}
+
+
+class TestBuildEntry:
+    def test_compact_means_and_fields(self):
+        entry = build_entry(MEANS, commit="abc123", date="2026-07-30")
+        assert entry["date"] == "2026-07-30"
+        assert entry["commit"] == "abc123"
+        assert entry["benchmarks"]["bench/a.py::test_a"] == 1.23457
+        assert entry["geomean_speedup_vs_baseline"] is None
+
+    def test_date_defaults_to_today(self):
+        assert len(build_entry(MEANS)["date"]) == 10
+
+    def test_geomean_speedup_against_baseline(self):
+        baseline = {name: mean * 2.0 for name, mean in MEANS.items()}
+        entry = build_entry(MEANS, baseline=baseline)
+        assert entry["geomean_speedup_vs_baseline"] == pytest.approx(2.0)
+        # No overlap: the statistic is undefined, not a crash.
+        entry = build_entry(MEANS, baseline={"other": 1.0})
+        assert entry["geomean_speedup_vs_baseline"] is None
+
+
+class TestAppendEntry:
+    def test_appends_one_canonical_line(self, tmp_path):
+        history = tmp_path / "history" / "trend.jsonl"
+        append_entry(build_entry(MEANS, date="2026-07-30"), str(history))
+        append_entry(build_entry(MEANS, date="2026-07-31"), str(history))
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["date"] == "2026-07-30"
+        # Canonical form: sorted keys, compact separators.
+        assert lines[0] == json.dumps(first, sort_keys=True,
+                                      separators=(",", ":"))
+
+
+class TestMain:
+    def test_end_to_end(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        baseline = tmp_path / "baseline.json"
+        history = tmp_path / "trend.jsonl"
+        write_bench(bench, MEANS)
+        write_bench(baseline, {name: mean * 2.0
+                               for name, mean in MEANS.items()})
+        assert main(["--input", str(bench), "--history", str(history),
+                     "--commit", "deadbeef", "--date", "2026-07-30",
+                     "--baseline", str(baseline)]) == 0
+        entry = json.loads(history.read_text().splitlines()[0])
+        assert entry["commit"] == "deadbeef"
+        assert entry["geomean_speedup_vs_baseline"] == pytest.approx(2.0)
+        assert "appended trend entry (2 benchmark(s)" in (
+            capsys.readouterr().out)
+
+    def test_bad_input_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as info:
+            main(["--input", str(tmp_path / "missing.json"),
+                  "--history", str(tmp_path / "trend.jsonl")])
+        assert info.value.code == 2

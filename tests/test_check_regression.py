@@ -121,10 +121,28 @@ class TestStepSummary:
         assert code == 0
         assert "## Benchmark comparison" in text
         assert "| benchmark | baseline (s) | current (s) |" in text
+        assert "| delta vs baseline |" in text
         assert "`bench/a.py::test_a`" in text
         assert ":zap: faster" in text
         assert ":new: not gated" in text
         assert "within threshold" in text
+
+    def test_markdown_table_has_signed_deltas(self, tmp_path, monkeypatch):
+        current = dict(BASE)
+        current["bench/a.py::test_a"] = 0.5   # corrected 0.50x -> -50.0%
+        current["bench/b.py::test_b"] = 2.4   # corrected 1.20x -> +20.0%
+        code, text = self._summary_after_run(tmp_path, monkeypatch, current)
+        assert code == 0
+        row_a = next(line for line in text.splitlines() if "test_a" in line)
+        row_b = next(line for line in text.splitlines() if "test_b" in line)
+        assert "-50.0%" in row_a
+        assert "+20.0%" in row_b
+        # Ungated newcomers show no delta.
+        current["bench/e.py::test_new"] = 9.9
+        _code, text = self._summary_after_run(tmp_path, monkeypatch, current)
+        row_new = next(line for line in text.splitlines()
+                       if "test_new" in line)
+        assert "| - | - " in row_new
 
     def test_markdown_table_flags_regressions(self, tmp_path, monkeypatch):
         current = dict(BASE)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.breakdown import compute_breakdown
-from repro.core.exposure import compute_exposure
+from repro.core.exposure import ExposureBucket, ExposureResult, compute_exposure
 from repro.core.stages import Event, Stage
 from repro.core.tracker import LatencyTracker, RequestRecord
 from repro.utils.errors import ConfigurationError
@@ -174,3 +174,64 @@ class TestExposure:
         total = sum(bucket.total_cycles for bucket in result.buckets)
         assert total == sum(complete - issue for issue, complete in loads)
         assert 0.0 <= result.overall_exposed_fraction <= 1.0
+
+
+class TestExposureEdgeCases:
+    """Boundary behaviour the sensitivity metrics depend on."""
+
+    def test_mostly_exposed_threshold_is_strict(self):
+        # Exactly-at-threshold loads do not count as "mostly exposed":
+        # the comparison is strictly greater-than.
+        result = ExposureResult(buckets=[], total_loads=2,
+                                per_load=[(100, 50), (100, 51)])
+        assert result.fraction_of_loads_mostly_exposed(50.0) == 0.5
+        assert result.fraction_of_loads_mostly_exposed(51.0) == 0.0
+        assert result.fraction_of_loads_mostly_exposed(50.999) == 0.5
+
+    def test_mostly_exposed_zero_threshold_needs_some_exposure(self):
+        # At threshold 0 a fully hidden load (exposed == 0) still does
+        # not count; any positive exposure does.
+        result = ExposureResult(buckets=[], total_loads=2,
+                                per_load=[(100, 0), (100, 1)])
+        assert result.fraction_of_loads_mostly_exposed(0.0) == 0.5
+
+    def test_mostly_exposed_skips_zero_latency_loads(self):
+        # Zero-latency loads have no exposure ratio; they stay in the
+        # denominator but can never be "mostly exposed".
+        result = ExposureResult(buckets=[], total_loads=2,
+                                per_load=[(0, 0), (100, 100)])
+        assert result.fraction_of_loads_mostly_exposed() == 0.5
+
+    def test_mostly_exposed_with_no_loads(self):
+        assert ExposureResult(
+            buckets=[], total_loads=0).fraction_of_loads_mostly_exposed() == 0.0
+
+    def test_overall_exposed_fraction_empty_buckets(self):
+        # No buckets at all, and buckets holding zero cycles, both
+        # yield 0.0 instead of dividing by zero.
+        assert ExposureResult(buckets=[],
+                              total_loads=0).overall_exposed_fraction == 0.0
+        empty = ExposureBucket(lower=0.0, upper=10.0)
+        assert ExposureResult(buckets=[empty],
+                              total_loads=0).overall_exposed_fraction == 0.0
+        assert empty.exposed_percent == 0.0
+        assert empty.hidden_percent == 0.0
+
+    def test_format_table_include_empty_lists_every_bucket(self):
+        tracker = TestExposure.tracked_loads([(0, 100), (0, 900)])
+        result = compute_exposure(tracker, num_buckets=6)
+        dense = result.format_table(include_empty=True).splitlines()
+        sparse = result.format_table().splitlines()
+        # Header + separator + one row per bucket when empties included.
+        assert len(dense) == 2 + len(result.buckets)
+        assert len(sparse) == 2 + len(result.non_empty_buckets())
+        assert len(result.non_empty_buckets()) < len(result.buckets)
+        for bucket in result.buckets:
+            assert any(line.startswith(bucket.label) for line in dense)
+
+    def test_format_table_with_no_buckets(self):
+        text = ExposureResult(buckets=[], total_loads=0).format_table(
+            include_empty=True)
+        lines = text.splitlines()
+        assert lines[0].startswith("Latency")
+        assert len(lines) == 2

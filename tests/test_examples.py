@@ -58,6 +58,16 @@ class TestExamples:
         assert "byte-identical to serial: True" in output
         assert "parent cache after merge" in output
 
+    def test_sensitivity_study_runs_small(self, capsys):
+        run_example("sensitivity_study.py",
+                    ["--nodes", "256", "--degree", "4",
+                     "--scales", "1", "2", "--jobs", "2"])
+        output = capsys.readouterr().out
+        assert "Latency-sensitivity study" in output
+        assert "scale_dram_latency" in output
+        assert "scale_max_warps" in output
+        assert "cycles monotone non-decreasing along DRAM axis: True" in output
+
     @pytest.mark.slow
     def test_static_latency_table_runs_quick(self, capsys):
         run_example("static_latency_table.py", ["--quick"])
