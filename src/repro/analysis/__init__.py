@@ -1,10 +1,17 @@
 """Result reporting helpers (plain-text tables and ASCII charts)."""
 
+from repro.analysis.atlas_report import (
+    atlas_cycles_table,
+    atlas_metrics_table,
+    atlas_slope_chart,
+    format_atlas_report,
+)
 from repro.analysis.report import (
     STAGE_GLYPHS,
     breakdown_chart,
     comparison_table,
     exposure_chart,
+    format_optional,
     format_table,
     stacked_bar,
 )
@@ -17,9 +24,14 @@ from repro.analysis.sensitivity_report import (
 
 __all__ = [
     "STAGE_GLYPHS",
+    "atlas_cycles_table",
+    "atlas_metrics_table",
+    "atlas_slope_chart",
     "breakdown_chart",
     "comparison_table",
     "exposure_chart",
+    "format_atlas_report",
+    "format_optional",
     "format_sensitivity_report",
     "format_table",
     "metrics_summary",

@@ -1,0 +1,96 @@
+"""Plain-text rendering of latency-tolerance atlas results.
+
+Renders an :class:`~repro.sensitivity.AtlasResult` — the 2-D
+workload-axis x transform sweep — in the package's house style: aligned
+text tables plus an ASCII trend chart, no plotting dependencies.  All
+output is a pure function of the (deterministic) result object, so CLI
+output stays byte-deterministic across worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.report import format_optional as _fmt
+from repro.analysis.report import format_table
+from repro.sensitivity.atlas import AtlasResult
+
+
+def atlas_cycles_table(result: AtlasResult) -> str:
+    """The raw cycle counts: one row per axis value, one column per scale."""
+    axis = result.atlas.get("axis", "value")
+    scales = [format(point.scale, "g")
+              for point in result.rows[0].curve.points]
+    rows = []
+    for row in result.rows:
+        cells = [format(row.value, "g")]
+        cells.extend(str(point.cycles) for point in row.curve.points)
+        rows.append(cells)
+    chain = result.rows[0].curve.transform.describe()
+    return format_table(
+        [axis] + [f"x{scale}" for scale in scales],
+        rows,
+        title=f"Total cycles per sweep point ({chain} scales across "
+              f"the columns)",
+    )
+
+
+def atlas_metrics_table(result: AtlasResult) -> str:
+    """The fitted per-row tolerance metrics as one table."""
+    axis = result.atlas.get("axis", "value")
+    rows = []
+    for row in result.rows:
+        metrics = row.curve.metrics
+        baseline = metrics.baseline_cycles
+        worst = max(point.cycles for point in row.curve.points)
+        rows.append([
+            format(row.value, "g"),
+            str(baseline),
+            _fmt(metrics.slope_cycles_per_scale, 1),
+            _fmt(metrics.slope_cycles_per_injected, 3),
+            _fmt(metrics.half_tolerance_scale),
+            _fmt(metrics.half_tolerance_injected, 0),
+            f"{worst / baseline:.2f}x" if baseline else "-",
+        ])
+    return format_table(
+        [axis, "baseline cyc", "slope cyc/scale", "slope cyc/injected",
+         "half-tol scale", "half-tol cyc", "max slowdown"],
+        rows,
+        title="Fitted tolerance metrics per axis value",
+    )
+
+
+def atlas_slope_chart(result: AtlasResult, width: int = 50) -> str:
+    """ASCII trend of the cycles-per-injected-cycle slope along the axis."""
+    axis = result.atlas.get("axis", "value")
+    slopes = [(row.value, row.curve.metrics.slope_cycles_per_injected)
+              for row in result.rows]
+    known = [slope for _value, slope in slopes if slope is not None]
+    lines = [f"Latency sensitivity (slope cyc/injected cyc) vs {axis}"]
+    if not known:
+        lines.append("  (no latency injected along the transform axis)")
+        return "\n".join(lines)
+    top = max(known)
+    for value, slope in slopes:
+        if slope is None:
+            lines.append(f"{format(value, 'g'):>8s} | (no injected latency)")
+            continue
+        bar = "#" * max(1, int(round(width * slope / top))) if top > 0 else ""
+        lines.append(f"{format(value, 'g'):>8s} |{bar} {slope:.3f}")
+    return "\n".join(lines)
+
+
+def format_atlas_report(result: AtlasResult) -> str:
+    """Render a complete atlas result: cycles, metrics, slope trend."""
+    atlas = result.atlas
+    chain = result.rows[0].curve.transform.describe()
+    sections: List[str] = [
+        f"Latency-tolerance atlas: {atlas.get('workload')} on "
+        f"{atlas.get('config')!r}, {atlas.get('axis')} x {chain} "
+        f"(nominal unloaded DRAM round trip: "
+        f"{result.base_nominal_latency} cycles)",
+        atlas_cycles_table(result),
+        atlas_metrics_table(result),
+        atlas_slope_chart(result),
+    ]
+    return "\n\n".join(sections)

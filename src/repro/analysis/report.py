@@ -20,6 +20,13 @@ STAGE_GLYPHS = {
 }
 
 
+def format_optional(value: Optional[float], digits: int = 2) -> str:
+    """Format an optional float (``'-'`` for ``None``)."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
                  title: Optional[str] = None) -> str:
     """Render ``rows`` under ``headers`` as an aligned plain-text table."""

@@ -11,16 +11,10 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.analysis.report import format_optional as _fmt
 from repro.analysis.report import format_table
 from repro.sensitivity.metrics import ToleranceMetrics
 from repro.sensitivity.study import SensitivityCurve, SensitivityResult
-
-
-def _fmt(value, digits: int = 2) -> str:
-    """Format an optional float ('-' for None)."""
-    if value is None:
-        return "-"
-    return f"{value:.{digits}f}"
 
 
 def sensitivity_table(curve: SensitivityCurve) -> str:

@@ -30,6 +30,18 @@ benchmarks all exercise the same code path.
     for a workload x configuration pair and report the fitted latency
     tolerance metrics (cycles-vs-injected-latency slope, half-tolerance
     point, exposed-fraction curve).
+``repro microbench``
+    Run (or, with ``--describe``, just print) one synthetic microbench
+    spec: axes pass as ``--set key=value`` or load from a JSON file via
+    ``--spec``.
+``repro atlas``
+    The 2-D latency-tolerance atlas: sweep one microbench axis
+    (``--axis ilp=1,2,4,8``) against one transform axis across scale
+    factors, and report per-row tolerance metrics in one table.
+``repro smoke``
+    Run a tiny verified experiment for **every** registered workload x
+    configuration pair; ``--json`` emits the machine-readable report
+    the CI smoke job asserts against.
 
 Each subcommand prints plain text; pass ``--help`` to any of them for its
 options.  Experiment subcommands accept ``--output FILE`` to save their
@@ -45,12 +57,14 @@ straight-line reference loop instead of the event-accelerated fast path
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis import (
     breakdown_chart,
     exposure_chart,
+    format_atlas_report,
     format_sensitivity_report,
     format_table,
 )
@@ -60,15 +74,23 @@ from repro.experiments import (
     RunSet,
     Session,
     parse_param_tokens,
+    run_smoke,
 )
 from repro.gpu import available_configs, get_config
 from repro.sensitivity import (
     TRANSFORM_REGISTRY,
+    LatencyToleranceAtlas,
     SensitivityStudy,
     available_transforms,
+    parse_axis_token,
 )
 from repro.utils.errors import ExperimentError, ReproError
-from repro.workloads import WORKLOAD_REGISTRY, available_workloads
+from repro.workloads import (
+    WORKLOAD_REGISTRY,
+    MicrobenchSpec,
+    available_workloads,
+    build_microbench_kernel,
+)
 
 
 def _write_output(args: argparse.Namespace, records: List[RunRecord]) -> None:
@@ -250,6 +272,86 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _microbench_spec(args: argparse.Namespace) -> MicrobenchSpec:
+    """Build the spec from ``--spec FILE`` plus ``--set`` overrides."""
+    axes = {}
+    if args.spec:
+        with open(args.spec) as handle:
+            axes = dict(MicrobenchSpec.from_json(handle.read()).to_dict())
+    axes.update(parse_param_tokens(args.set or []))
+    return MicrobenchSpec.from_dict(axes)
+
+
+def _cmd_microbench(args: argparse.Namespace) -> int:
+    spec = _microbench_spec(args)
+    print(spec.describe())
+    print(f"spec hash: {spec.spec_hash()}")
+    if args.describe:
+        program = build_microbench_kernel(spec)
+        print(f"serial steps/chain: {spec.depth}  "
+              f"loads/warp: {spec.loads_per_warp}  "
+              f"ring slots: {spec.num_slots}  "
+              f"diverged warps: {spec.diverged_warps}/{spec.total_warps}")
+        print()
+        print(spec.to_json(indent=2))
+        print()
+        print(program.disassemble())
+        return 0
+    experiment = Experiment.dynamic(args.config, "microbench",
+                                    buckets=args.buckets, **spec.to_dict())
+    record = args.session.run(experiment)
+    print()
+    _print_dynamic(record)
+    _write_output(args, [record])
+    return 0
+
+
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    axis, values = parse_axis_token(args.axis)
+    atlas = LatencyToleranceAtlas(
+        config=args.config,
+        axis=axis,
+        values=tuple(values),
+        transform=args.transform,
+        scales=tuple(_parse_scales(args.scales)),
+        workload=args.workload,
+        params=parse_param_tokens(args.param or []),
+    )
+    progress = _progress_to_stderr if args.jobs > 1 else None
+    result = atlas.run(session=args.session, jobs=args.jobs,
+                       progress=progress)
+    print(format_atlas_report(result))
+    if args.output:
+        result.save(args.output)
+        print(f"\nsaved atlas result to {args.output}")
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    progress = _progress_to_stderr if args.jobs > 1 else None
+    report = run_smoke(args.session, jobs=args.jobs, progress=progress)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+        print(f"saved smoke report to {args.output}", file=sys.stderr)
+    if args.json:
+        print(text)
+        return 0
+    rows = [[run["workload"], run["config"], str(run["cycles"]),
+             str(run["instructions"]), "yes" if run["verified"] else "NO"]
+            for run in report["runs"]]
+    print(format_table(
+        ["workload", "config", "cycles", "instructions", "verified"],
+        rows,
+        title=f"Smoke matrix: {report['workload_count']} workload(s) x "
+              f"{report['config_count']} configuration(s) = "
+              f"{report['total_runs']} runs",
+    ))
+    return 0 if report["all_verified"] else 1
+
+
 def _cmd_transforms(args: argparse.Namespace) -> int:
     rows = [[name, f"{TRANSFORM_REGISTRY.get(name).identity:g}",
              TRANSFORM_REGISTRY.describe(name)]
@@ -374,6 +476,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", help="save the sensitivity result as JSON")
     add_reference_core_flag(sensitivity)
     sensitivity.set_defaults(func=_cmd_sensitivity)
+
+    microbench = subparsers.add_parser(
+        "microbench",
+        help="run or describe one synthetic microbenchmark spec")
+    microbench.add_argument(
+        "--config", default="gf106",
+        help="configuration to run on (see 'repro configs')")
+    microbench.add_argument(
+        "--set", action="append", metavar="AXIS=VALUE",
+        help="spec axis override, e.g. --set ilp=4 (repeatable; unknown "
+             "axes list the valid ones)")
+    microbench.add_argument(
+        "--spec", metavar="FILE",
+        help="load the spec from a JSON file (--set overrides on top)")
+    microbench.add_argument(
+        "--describe", action="store_true",
+        help="print the spec, its derived geometry, and the generated "
+             "program instead of running it (run-only options such as "
+             "--output and --config are ignored)")
+    microbench.add_argument("--buckets", type=int, default=24)
+    microbench.add_argument("--output",
+                            help="without --describe: save the run as a "
+                                 "JSON run set")
+    add_reference_core_flag(microbench)
+    microbench.set_defaults(func=_cmd_microbench)
+
+    atlas = subparsers.add_parser(
+        "atlas",
+        help="2-D latency-tolerance atlas: microbench axis x transform "
+             "scales")
+    atlas.add_argument(
+        "--config", default="gf106",
+        help="base configuration to perturb (see 'repro configs')")
+    atlas.add_argument(
+        "--axis", default="ilp=1,2,4,8", metavar="NAME=V1,V2,...",
+        help="workload axis swept along the rows "
+             "(default: ilp=1,2,4,8)")
+    atlas.add_argument(
+        "--transform", default="scale_dram_latency",
+        metavar="NAME[:VALUE][+NAME...]",
+        help="transform axis swept along the columns "
+             "(default: scale_dram_latency; see 'repro transforms')")
+    atlas.add_argument(
+        "--scales", default="1,2,4,8", metavar="S1,S2,...",
+        help="comma-separated transform scale factors (default: 1,2,4,8)")
+    atlas.add_argument(
+        "--workload", default="microbench",
+        help="workload providing the row axis (default: microbench)")
+    atlas.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="workload parameter held constant across the grid "
+             "(repeatable)")
+    atlas.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes to shard the whole 2-D grid across "
+             "(default: 1, serial)")
+    atlas.add_argument("--output", help="save the atlas result as JSON")
+    add_reference_core_flag(atlas)
+    atlas.set_defaults(func=_cmd_atlas)
+
+    smoke = subparsers.add_parser(
+        "smoke",
+        help="tiny verified run for every registered workload x "
+             "configuration pair")
+    smoke.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report (what the CI smoke job "
+             "asserts against) instead of a table")
+    smoke.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes to shard the matrix across "
+             "(default: 1, serial)")
+    smoke.add_argument("--output",
+                       help="save the JSON report to a file (with or "
+                            "without --json)")
+    add_reference_core_flag(smoke)
+    smoke.set_defaults(func=_cmd_smoke)
     return parser
 
 

@@ -38,6 +38,12 @@ from repro.experiments.results import (
     table_to_dict,
 )
 from repro.experiments.session import Session
+from repro.experiments.smoke import (
+    SMOKE_PARAMS,
+    check_registry_coverage,
+    run_smoke,
+    smoke_experiments,
+)
 from repro.experiments.spec import (
     EXPERIMENT_KINDS,
     Experiment,
@@ -61,9 +67,11 @@ __all__ = [
     "ParallelExecutor",
     "RunRecord",
     "RunSet",
+    "SMOKE_PARAMS",
     "Session",
     "WORKLOAD_REGISTRY",
     "breakdown_to_dict",
+    "check_registry_coverage",
     "coerce_workload_params",
     "default_jobs",
     "exposure_to_dict",
@@ -72,6 +80,8 @@ __all__ = [
     "parse_param_tokens",
     "register_config",
     "register_workload",
+    "run_smoke",
+    "smoke_experiments",
     "sweep_to_dict",
     "table_to_dict",
     "unregister_config",

@@ -1,0 +1,118 @@
+"""Registry-wide smoke runs: every workload x every configuration.
+
+The benchmark suite and the examples only touch a handful of the
+registered workload x configuration pairs; everything else used to be
+exercised only when somebody happened to pick it.  :func:`run_smoke`
+closes that gap: it runs a *tiny* verified experiment for every pair in
+the two registries and returns a JSON-ready report, which the CI
+``smoke`` job uploads and asserts counts against — so adding or removing
+a registry entry is immediately visible in CI (registry drift), and a
+pair that stops simulating or verifying fails the run.
+
+Every workload needs an entry in :data:`SMOKE_PARAMS` (problem sizes
+small enough that the full cross product stays in CI-friendly
+territory).  A registered workload without one — or a stale entry for an
+unregistered workload — raises :class:`ExperimentError` before anything
+runs; that is the drift check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.experiments.results import RunRecord
+from repro.experiments.spec import Experiment
+from repro.gpu import available_configs
+from repro.utils.errors import ExperimentError
+from repro.workloads import available_workloads
+
+#: Tiny per-workload parameters for the smoke cross product.  Keep these
+#: as small as each kernel allows: the smoke matrix runs every entry on
+#: every registered configuration.
+SMOKE_PARAMS: Dict[str, Dict[str, Any]] = {
+    "bfs": {"num_nodes": 96, "avg_degree": 4, "block_dim": 32, "seed": 7},
+    "matmul": {"n": 8, "block_dim": 64},
+    "microbench": {"ilp": 2, "mlp": 2, "arith_per_load": 2, "stride": 128,
+                   "footprint": 4096, "ctas": 2, "warps_per_cta": 2,
+                   "iters": 8},
+    "microbench_mlp4": {"footprint": 8192, "ctas": 2, "iters": 8},
+    "pointer_chase": {"footprint_bytes": 2048, "stride_bytes": 128,
+                      "n_accesses": 32},
+    "reduction": {"n": 256, "block_dim": 64},
+    "spmv": {"num_rows": 48, "nnz_per_row": 4},
+    "stencil": {"n": 256, "block_dim": 64},
+    "vecadd": {"n": 256, "block_dim": 64},
+}
+
+#: Analysis buckets for the smoke runs (coarse: the analyses are not the
+#: point here, completing and verifying is).
+SMOKE_BUCKETS = 4
+
+
+def check_registry_coverage() -> None:
+    """Raise :class:`ExperimentError` when :data:`SMOKE_PARAMS` and the
+    workload registry have drifted apart."""
+    registered = set(available_workloads())
+    missing = registered - set(SMOKE_PARAMS)
+    if missing:
+        raise ExperimentError(
+            f"registry drift: no smoke parameters for registered "
+            f"workload(s) {sorted(missing)}; add them to "
+            f"repro.experiments.smoke.SMOKE_PARAMS"
+        )
+    stale = set(SMOKE_PARAMS) - registered
+    if stale:
+        raise ExperimentError(
+            f"registry drift: smoke parameters for unregistered "
+            f"workload(s) {sorted(stale)}; remove them from "
+            f"repro.experiments.smoke.SMOKE_PARAMS"
+        )
+
+
+def smoke_experiments() -> Dict[tuple, Experiment]:
+    """The smoke grid: one tiny dynamic experiment per workload x config."""
+    check_registry_coverage()
+    grid: Dict[tuple, Experiment] = {}
+    for workload in sorted(SMOKE_PARAMS):
+        for config in available_configs():
+            grid[(workload, config)] = Experiment.dynamic(
+                config, workload, label="smoke",
+                buckets=SMOKE_BUCKETS, **SMOKE_PARAMS[workload])
+    return grid
+
+
+def run_smoke(session, jobs: Optional[int] = 1,
+              progress: Optional[Callable[[int, int, RunRecord], None]]
+              = None) -> Dict[str, Any]:
+    """Run the whole smoke grid; returns a JSON-ready report.
+
+    Verification failures raise (the session verifies every dynamic
+    run), so a passing report means every registered pair simulated to
+    completion *and* produced correct results.  The report's counts are
+    what the CI job asserts against, making registry additions and
+    removals visible.
+    """
+    grid = smoke_experiments()
+    runs = session.run_all(list(grid.values()), jobs=jobs, progress=progress)
+    report_runs = []
+    for (workload, config), record in zip(grid.keys(), runs):
+        report_runs.append({
+            "workload": workload,
+            "config": config,
+            "cycles": record.total_cycles,
+            "instructions": sum(launch.get("instructions", 0)
+                                for launch in record.launches),
+            "launches": len(record.launches),
+            "verified": bool(record.payload.get("verified", False)),
+        })
+    workloads = sorted(SMOKE_PARAMS)
+    configs = available_configs()
+    return {
+        "workloads": workloads,
+        "configs": configs,
+        "workload_count": len(workloads),
+        "config_count": len(configs),
+        "total_runs": len(report_runs),
+        "all_verified": all(run["verified"] for run in report_runs),
+        "runs": report_runs,
+    }

@@ -37,6 +37,12 @@ command line, and :func:`repro.analysis.format_sensitivity_report`
 renders results as plain text.
 """
 
+from repro.sensitivity.atlas import (
+    AtlasResult,
+    AtlasRow,
+    LatencyToleranceAtlas,
+    parse_axis_token,
+)
 from repro.sensitivity.metrics import (
     SensitivityPoint,
     ToleranceMetrics,
@@ -67,7 +73,10 @@ from repro.sensitivity.transforms import (
 )
 
 __all__ = [
+    "AtlasResult",
+    "AtlasRow",
     "INTERCONNECT_HOP_CYCLES",
+    "LatencyToleranceAtlas",
     "SENSITIVITY_LABEL_PREFIX",
     "SensitivityCurve",
     "SensitivityPoint",
@@ -82,6 +91,7 @@ __all__ = [
     "chain_from_label",
     "chain_label",
     "fit_tolerance",
+    "parse_axis_token",
     "injected_latency",
     "nominal_dram_latency",
     "ols_slope",

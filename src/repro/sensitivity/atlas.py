@@ -1,0 +1,359 @@
+"""The latency-tolerance atlas: a 2-D microbench-axis x transform sweep.
+
+A single :class:`~repro.sensitivity.SensitivityStudy` answers "how much
+injected latency does *this* kernel hide?".  The paper's argument needs
+the next dimension: how that tolerance *changes* as one controlled
+workload property — instruction-level parallelism, outstanding loads,
+occupancy — is dialed.  A :class:`LatencyToleranceAtlas` runs exactly
+that grid: one workload-parameter axis (by default an axis of the
+synthetic ``microbench`` workload, e.g. ``ilp``) crossed with one
+configuration-transform axis (e.g. ``scale_dram_latency`` across scale
+factors), fitting per-row tolerance metrics into one table.
+
+Execution pools every row's sweep points into a single
+:meth:`~repro.experiments.Session.run_all` call, so ``jobs=N`` shards
+the whole 2-D grid across worker processes and the assembled
+:class:`AtlasResult` is byte-identical to a serial run.  The atlas spec
+and its result are plain data (``to_dict`` / ``from_dict`` / canonical
+JSON), mirroring the rest of the experiment layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.experiments.results import RunRecord
+from repro.experiments.spec import workload_param_spec
+from repro.sensitivity.study import (
+    SensitivityCurve,
+    SensitivityStudy,
+    _normalise_chain,
+)
+from repro.sensitivity.transforms import TransformChain, nominal_dram_latency
+from repro.utils.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class LatencyToleranceAtlas:
+    """Declarative specification of one 2-D latency-tolerance sweep.
+
+    Attributes
+    ----------
+    config:
+        Registered (or session-local) base configuration name.
+    axis:
+        Workload constructor parameter swept along the rows (an axis of
+        the ``microbench`` spec such as ``ilp``, ``mlp``, or
+        ``warps_per_cta`` — any registered workload's parameter works).
+    values:
+        The axis values, one sweep row each.
+    transform:
+        The transform axis swept along the columns; accepts a
+        :class:`TransformChain`, a transform name, or a chain token.
+    scales:
+        Transform sweep scale factors (the columns).
+    workload:
+        Registered workload name (default: the synthetic microbench).
+    params:
+        Workload parameters held constant across the grid.
+    label:
+        Optional free-form tag carried into the result.
+    """
+
+    config: str
+    axis: str
+    values: Tuple[float, ...]
+    transform: Union[str, TransformChain] = "scale_dram_latency"
+    scales: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+    workload: str = "microbench"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.config:
+            raise ExperimentError("atlas sweeps need a config")
+        if not self.workload:
+            raise ExperimentError("atlas sweeps need a workload")
+        if not self.axis:
+            raise ExperimentError("atlas sweeps need a workload axis")
+        values = tuple(self.values)
+        if not values:
+            raise ExperimentError(
+                "atlas sweeps need at least one axis value"
+            )
+        if len(set(values)) != len(values):
+            raise ExperimentError(
+                f"duplicate atlas axis values in {list(values)}"
+            )
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "transform",
+                           _normalise_chain(self.transform))
+        scales = tuple(float(scale) for scale in self.scales)
+        if not scales:
+            raise ExperimentError(
+                "atlas sweeps need at least one scale factor"
+            )
+        object.__setattr__(self, "scales", scales)
+        params = dict(self.params)
+        if self.axis in params:
+            raise ExperimentError(
+                f"atlas axis {self.axis!r} cannot also be a fixed "
+                f"parameter"
+            )
+        object.__setattr__(self, "params", params)
+
+    def validate_axis(self) -> None:
+        """Check the axis against the workload's constructor signature.
+
+        Raises :class:`ExperimentError` listing the valid axes.  Kept
+        separate from ``__post_init__`` because the workload may be
+        registered after the atlas spec is built (mirroring dynamic
+        experiments' lazy parameter validation).
+        """
+        spec = workload_param_spec(self.workload)
+        if self.axis not in spec:
+            raise ExperimentError(
+                f"unknown atlas axis {self.axis!r} for workload "
+                f"{self.workload!r}; valid axes: {sorted(spec)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-native types only)."""
+        return {
+            "config": self.config,
+            "axis": self.axis,
+            "values": list(self.values),
+            "transform": self.transform.to_list(),
+            "scales": list(self.scales),
+            "workload": self.workload,
+            "params": dict(self.params),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LatencyToleranceAtlas":
+        """Rebuild an atlas spec from :meth:`to_dict` output."""
+        unknown = set(data) - {"config", "axis", "values", "transform",
+                               "scales", "workload", "params", "label"}
+        if unknown:
+            raise ExperimentError(
+                f"unknown atlas fields {sorted(unknown)}"
+            )
+        transform = data.get("transform", "scale_dram_latency")
+        if isinstance(transform, list):
+            transform = TransformChain.from_list(transform)
+        return cls(
+            config=data.get("config", ""),
+            axis=data.get("axis", ""),
+            values=tuple(data.get("values", ())),
+            transform=transform,
+            scales=tuple(data.get("scales", (1.0, 2.0, 4.0, 8.0))),
+            workload=data.get("workload", "microbench"),
+            params=dict(data.get("params", {})),
+            label=data.get("label"),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON form (sorted keys, stable separators)."""
+        if indent is None:
+            return json.dumps(self.to_dict(), sort_keys=True,
+                              separators=(",", ":"))
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LatencyToleranceAtlas":
+        """Rebuild an atlas spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"latency-tolerance atlas of {self.workload} on "
+                f"{self.config}: {self.axis} x "
+                f"{self.transform.describe()} at scales "
+                f"{[format(s, 'g') for s in self.scales]}")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def studies(self) -> List[SensitivityStudy]:
+        """One :class:`SensitivityStudy` per axis value (sweep row)."""
+        return [
+            SensitivityStudy(
+                config=self.config,
+                workload=self.workload,
+                transforms=(self.transform,),
+                scales=self.scales,
+                params={**self.params, self.axis: value},
+                label=self.label,
+            )
+            for value in self.values
+        ]
+
+    def run(self, session=None, jobs: Optional[int] = 1,
+            progress: Optional[Callable[[int, int, RunRecord], None]] = None,
+            ) -> "AtlasResult":
+        """Run the whole grid and fit per-row tolerance metrics.
+
+        Every row's sweep points (including each row's baseline) are
+        pooled into one :meth:`~repro.experiments.Session.run_all` call,
+        so ``jobs=N`` parallelises across the entire 2-D grid and the
+        result is byte-identical to a serial run.
+        """
+        from repro.experiments.session import Session  # deferred: avoid cycle
+
+        self.validate_axis()
+        session = session if session is not None else Session()
+        base = session.resolve_config(self.config)
+        studies = self.studies()
+        pooled: List[Any] = []
+        slices: List[Tuple[SensitivityStudy, List, int]] = []
+        for study in studies:
+            specs, meta = study.experiments(session)
+            slices.append((study, meta, len(specs)))
+            pooled.extend(specs)
+        runs = list(session.run_all(pooled, jobs=jobs, progress=progress))
+        rows: List[AtlasRow] = []
+        cursor = 0
+        for value, (study, meta, count) in zip(self.values, slices):
+            row_runs = runs[cursor:cursor + count]
+            cursor += count
+            result = study.assemble(base, row_runs, meta)
+            rows.append(AtlasRow(value=value, curve=result.curves[0]))
+        return AtlasResult(
+            atlas=self.to_dict(),
+            base_nominal_latency=nominal_dram_latency(base),
+            rows=rows,
+        )
+
+
+@dataclass(frozen=True)
+class AtlasRow:
+    """One sweep row: an axis value and its fitted sensitivity curve."""
+
+    value: float
+    curve: SensitivityCurve
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-native types only)."""
+        return {"value": self.value, "curve": self.curve.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AtlasRow":
+        """Rebuild a row from :meth:`to_dict` output."""
+        return cls(value=data["value"],
+                   curve=SensitivityCurve.from_dict(data["curve"]))
+
+
+@dataclass
+class AtlasResult:
+    """The complete outcome of one latency-tolerance atlas sweep.
+
+    ``atlas`` is the producing spec as plain data,
+    ``base_nominal_latency`` the analytic unloaded DRAM round trip of
+    the base configuration, and ``rows`` one fitted
+    :class:`AtlasRow` per axis value, in sweep order.
+    """
+
+    atlas: Dict[str, Any]
+    base_nominal_latency: int
+    rows: List[AtlasRow]
+
+    def row(self, value: float) -> AtlasRow:
+        """The sweep row for one axis value."""
+        for row in self.rows:
+            if row.value == value:
+                return row
+        raise ExperimentError(
+            f"no atlas row for axis value {value!r}; available: "
+            f"{[row.value for row in self.rows]}"
+        )
+
+    def slopes(self) -> List[Tuple[float, Optional[float]]]:
+        """Per-row ``(axis value, cycles-per-injected-cycle slope)``."""
+        return [(row.value, row.curve.metrics.slope_cycles_per_injected)
+                for row in self.rows]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-native types only)."""
+        return {
+            "atlas": dict(self.atlas),
+            "base_nominal_latency": self.base_nominal_latency,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AtlasResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            atlas=dict(data["atlas"]),
+            base_nominal_latency=data["base_nominal_latency"],
+            rows=[AtlasRow.from_dict(row) for row in data["rows"]],
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON form: ``from_json(s).to_json() == s``."""
+        if indent is None:
+            return json.dumps(self.to_dict(), sort_keys=True,
+                              separators=(",", ":"))
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AtlasResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the result to ``path`` as canonical JSON."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "AtlasResult":
+        """Read a result previously written with :meth:`save`."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+def parse_axis_token(token: str) -> Tuple[str, List[Any]]:
+    """Parse a CLI atlas-axis token: ``name=v1,v2,...``.
+
+    Values are coerced through JSON (ints stay ints, floats floats).
+    """
+    name, sep, raw = token.partition("=")
+    name = name.strip()
+    if not sep or not name:
+        raise ExperimentError(
+            f"malformed atlas axis {token!r}; expected name=v1,v2,..."
+        )
+    values: List[Any] = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            values.append(json.loads(part))
+        except ValueError:
+            raise ExperimentError(
+                f"malformed atlas axis {token!r}; value {part!r} is not "
+                f"a number"
+            ) from None
+    if not values:
+        raise ExperimentError(
+            f"atlas axis {token!r} names no values"
+        )
+    return name, values

@@ -30,6 +30,15 @@ from repro.workloads.pointer_chase import (
 from repro.workloads.reduction import ReductionWorkload, build_reduction_kernel
 from repro.workloads.spmv import SpMVWorkload, build_spmv_kernel
 from repro.workloads.stencil import StencilWorkload, build_stencil_kernel
+from repro.workloads.synthetic import (
+    MLP4_SPEC,
+    MicrobenchSpec,
+    MicrobenchWorkload,
+    build_microbench_kernel,
+    microbench_expected,
+    microbench_ring,
+    register_microbench,
+)
 from repro.workloads.vecadd import VecAddWorkload, build_vecadd_kernel
 
 #: Open registry of workload classes, keyed by their short name.
@@ -55,11 +64,19 @@ def unregister_workload(name: str) -> None:
     WORKLOAD_REGISTRY.unregister(name)
 
 
-for _workload_cls in (BFSWorkload, MatMulWorkload, PointerChaseWorkload,
-                      ReductionWorkload, SpMVWorkload, StencilWorkload,
-                      VecAddWorkload):
+for _workload_cls in (BFSWorkload, MatMulWorkload, MicrobenchWorkload,
+                      PointerChaseWorkload, ReductionWorkload, SpMVWorkload,
+                      StencilWorkload, VecAddWorkload):
     register_workload(_workload_cls)
 del _workload_cls
+
+#: A generated microbench variant registered at import time so it exists
+#: in every process (parallel workers under ``spawn`` included).
+MicrobenchMLP4 = register_microbench(
+    MLP4_SPEC, name="microbench_mlp4",
+    description="Generated microbench: 4 outstanding loads per chain "
+                "step (MLP/MSHR stress)",
+)
 
 
 def available_workloads() -> List[str]:
@@ -87,7 +104,11 @@ __all__ = [
     "CSRGraph",
     "DEFAULT_UNROLL",
     "LaunchSpec",
+    "MLP4_SPEC",
     "MatMulWorkload",
+    "MicrobenchMLP4",
+    "MicrobenchSpec",
+    "MicrobenchWorkload",
     "PointerChaseWorkload",
     "ReductionWorkload",
     "SpMVWorkload",
@@ -101,14 +122,18 @@ __all__ = [
     "build_global_chase_kernel",
     "build_local_chase_kernel",
     "build_matmul_kernel",
+    "build_microbench_kernel",
     "build_reduction_kernel",
     "build_spmv_kernel",
     "build_stencil_kernel",
     "build_vecadd_kernel",
     "create_workload",
     "grid_graph",
+    "microbench_expected",
+    "microbench_ring",
     "random_graph",
     "reference_bfs",
+    "register_microbench",
     "register_workload",
     "setup_pointer_chain",
     "unregister_workload",

@@ -68,6 +68,16 @@ class TestExamples:
         assert "scale_max_warps" in output
         assert "cycles monotone non-decreasing along DRAM axis: True" in output
 
+    def test_latency_tolerance_atlas_runs_small(self, capsys):
+        run_example("latency_tolerance_atlas.py",
+                    ["--values", "1", "2", "--scales", "1", "2",
+                     "--iters", "16", "--jobs", "2"])
+        output = capsys.readouterr().out
+        assert "Latency-tolerance atlas" in output
+        assert "Fitted tolerance metrics" in output
+        assert ("latency sensitivity monotone non-increasing along ilp: "
+                "True") in output
+
     @pytest.mark.slow
     def test_static_latency_table_runs_quick(self, capsys):
         run_example("static_latency_table.py", ["--quick"])

@@ -41,6 +41,10 @@ WORKLOAD_PARAMS = {
     "stencil": {"n": 512, "block_dim": 128},
     "pointer_chase": {"footprint_bytes": 4096, "stride_bytes": 128,
                       "n_accesses": 64},
+    "microbench": {"ilp": 2, "mlp": 2, "arith_per_load": 2,
+                   "footprint": 4096, "ctas": 2, "warps_per_cta": 2,
+                   "iters": 12, "divergence": 0.5},
+    "microbench_mlp4": {"footprint": 8192, "ctas": 2, "iters": 12},
 }
 
 
@@ -200,6 +204,44 @@ class TestRandomKernelEquivalence:
                               block_dim=block_dim, params={"base": base})
 
         assert_results_identical([run(False)], [run(True)])
+
+
+#: Strategy over small generated-microbench specs: every axis moves, so
+#: the two cores are compared across ILP chain splitting, MLP load
+#: bursts, divergent half-warps, and varying occupancy.
+MICROBENCH_AXES = st.fixed_dictionaries({
+    "ilp": st.integers(min_value=1, max_value=4),
+    "mlp": st.integers(min_value=1, max_value=4),
+    "arith_per_load": st.integers(min_value=0, max_value=4),
+    "stride": st.sampled_from([4, 64, 128]),
+    "footprint": st.sampled_from([1024, 4096]),
+    "divergence": st.sampled_from([0.0, 0.5, 1.0]),
+    "ctas": st.integers(min_value=1, max_value=2),
+    "warps_per_cta": st.integers(min_value=1, max_value=2),
+    "iters": st.integers(min_value=1, max_value=16),
+})
+
+
+class TestMicrobenchEquivalence:
+    """Generated microbenchmarks must be byte-identical across cores.
+
+    This extends the golden-equivalence suite to hypothesis-random
+    :class:`~repro.workloads.MicrobenchSpec` axes: whatever kernel the
+    generator emits, the fast path and the reference core must agree on
+    the full :class:`KernelResult` (cycles, instructions, stats).
+    """
+
+    @settings(max_examples=12, deadline=None)
+    @given(axes=MICROBENCH_AXES)
+    def test_random_spec_identical_on_both_cores(self, axes):
+        fast = run_workload(make_fast_config(), "microbench", axes)
+        reference = run_workload(make_fast_config(reference_core=True),
+                                 "microbench", axes)
+        assert_results_identical(fast, reference)
+
+    def test_generated_variant_identical_on_calibrated_preset(self):
+        compare_cores("gf106", "microbench_mlp4",
+                      WORKLOAD_PARAMS["microbench_mlp4"])
 
 
 class TestNextEventTimeInvariant:

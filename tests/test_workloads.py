@@ -73,7 +73,8 @@ class TestWorkloadRegistry:
     def test_registry_contents(self):
         names = available_workloads()
         assert "bfs" in names and "vecadd" in names
-        assert len(names) == 7
+        assert "microbench" in names and "microbench_mlp4" in names
+        assert len(names) == 9
 
     def test_create_by_name(self):
         workload = create_workload("vecadd", n=64)
