@@ -89,6 +89,14 @@ from repro.sensitivity import (
     available_transforms,
     register_transform,
 )
+from repro.store import (
+    ResultStore,
+    StoreKey,
+    available_stores,
+    open_store,
+    register_store,
+    unregister_store,
+)
 from repro.workloads import (
     BFSWorkload,
     MatMulWorkload,
@@ -117,11 +125,13 @@ __all__ = [
     "PointerChaseWorkload",
     "Program",
     "ReductionWorkload",
+    "ResultStore",
     "RunRecord",
     "RunSet",
     "SensitivityResult",
     "SensitivityStudy",
     "Session",
+    "StoreKey",
     "SpMVWorkload",
     "StencilWorkload",
     "Transform",
@@ -129,6 +139,7 @@ __all__ = [
     "VecAddWorkload",
     "Workload",
     "available_configs",
+    "available_stores",
     "available_transforms",
     "available_workloads",
     "breakdown_from_tracker",
@@ -140,12 +151,15 @@ __all__ = [
     "get_config",
     "kepler_gk104",
     "maxwell_gm107",
+    "open_store",
     "register_config",
+    "register_store",
     "register_transform",
     "register_workload",
     "reproduce_table_i",
     "tesla_gt200",
     "unregister_config",
+    "unregister_store",
     "unregister_workload",
     "__version__",
 ]

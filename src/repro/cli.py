@@ -42,16 +42,35 @@ benchmarks all exercise the same code path.
     Run a tiny verified experiment for **every** registered workload x
     configuration pair; ``--json`` emits the machine-readable report
     the CI smoke job asserts against.
+``repro cache``
+    Inspect or maintain a persistent result store: ``stats`` (entry and
+    byte counts per code version and kind), ``prune`` (drop entries from
+    other code versions, or everything with ``--everything``), and
+    ``verify`` (integrity-check every stored record).
+``repro serve``
+    Long-running JSON API over a session and its store: ``POST /run`` an
+    experiment spec and get the stored or freshly simulated record back;
+    concurrent requests for the same result collapse onto one
+    simulation.
 
 Each subcommand prints plain text; pass ``--help`` to any of them for its
 options.  Experiment subcommands accept ``--output FILE`` to save their
-results as JSON (reloadable with ``repro.experiments.RunSet.load``).
-``repro run`` and ``repro sweep`` accept ``--jobs N`` to shard their
-experiments across N worker processes; the printed order and any
-``--output`` file are identical to a serial run.  Every experiment
-subcommand also accepts ``--reference-core`` to run the simulator's
-straight-line reference loop instead of the event-accelerated fast path
-(byte-identical results, mainly useful for validating the fast path).
+results as JSON (reloadable with ``repro.experiments.RunSet.load``);
+output files are written atomically (temp file + rename), so an
+interrupted run never leaves a torn file behind.  ``repro run`` and
+``repro sweep`` accept ``--jobs N`` to shard their experiments across N
+worker processes; the printed order and any ``--output`` file are
+identical to a serial run.  Every experiment subcommand accepts
+``--store TARGET`` to attach a persistent result store (a sqlite file
+path, or ``scheme:target``): results already stored are served without
+simulating — the stderr progress stream labels each record ``cache``,
+``store``, or ``simulated``, and a final stderr line counts them — and
+fresh results are written back, which makes interrupted sweeps
+resumable.  Every experiment subcommand also accepts
+``--reference-core`` to run the simulator's straight-line reference
+loop instead of the event-accelerated fast path (byte-identical
+results, mainly useful for validating the fast path; stored results
+are shared between the two modes).
 """
 
 from __future__ import annotations
@@ -84,6 +103,7 @@ from repro.sensitivity import (
     available_transforms,
     parse_axis_token,
 )
+from repro.utils.atomic import atomic_write_text
 from repro.utils.errors import ExperimentError, ReproError
 from repro.workloads import (
     WORKLOAD_REGISTRY,
@@ -190,9 +210,36 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
-def _progress_to_stderr(done: int, total: int, record: RunRecord) -> None:
-    """Streamed completion lines (stderr keeps stdout byte-deterministic)."""
-    print(f"[{done}/{total}] {record.summary()}", file=sys.stderr)
+def _progress_to_stderr(done: int, total: int, record: RunRecord,
+                        source: str) -> None:
+    """Streamed completion lines (stderr keeps stdout byte-deterministic).
+
+    ``source`` distinguishes records served from the in-memory cache or
+    the persistent store from those actually simulated.
+    """
+    print(f"[{done}/{total}] {source}: {record.summary()}", file=sys.stderr)
+
+
+def _progress_callback(args: argparse.Namespace):
+    """Stream per-record progress whenever it can carry information:
+    parallel runs (completion order is live feedback) and store-attached
+    runs (the cache/store/simulated split is the point)."""
+    if getattr(args, "jobs", 1) > 1 or getattr(args, "store", None):
+        return _progress_to_stderr
+    return None
+
+
+def _report_counters(args: argparse.Namespace) -> None:
+    """Final stderr counter line for store-attached runs."""
+    session = getattr(args, "session", None)
+    if session is None or getattr(args, "store", None) is None:
+        return
+    counters = session.counters()
+    if not any(counters.values()):
+        return  # maintenance commands (cache, serve) resolve nothing
+    print(f"store {args.store}: {counters['store_hits']} hit(s), "
+          f"{counters['store_misses']} miss(es), "
+          f"{counters['simulated']} run(s) simulated", file=sys.stderr)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -202,7 +249,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                          accesses=args.accesses, footprints=args.footprints)
         for config in configs
     ]
-    progress = _progress_to_stderr if args.jobs > 1 else None
+    progress = _progress_callback(args)
     runs = args.session.run_all(experiments, jobs=args.jobs,
                                 progress=progress)
     for index, record in enumerate(runs):
@@ -227,7 +274,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.spec) as handle:
         text = handle.read()
-    progress = _progress_to_stderr if args.jobs > 1 else None
+    progress = _progress_callback(args)
     runs = args.session.run_json(text, jobs=args.jobs, progress=progress)
     for index, record in enumerate(runs):
         if index:
@@ -262,7 +309,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         scales=tuple(_parse_scales(args.scales)),
         params=parse_param_tokens(args.param or []),
     )
-    progress = _progress_to_stderr if args.jobs > 1 else None
+    progress = _progress_callback(args)
     result = study.run(session=args.session, jobs=args.jobs,
                        progress=progress)
     print(format_sensitivity_report(result))
@@ -317,7 +364,7 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
         workload=args.workload,
         params=parse_param_tokens(args.param or []),
     )
-    progress = _progress_to_stderr if args.jobs > 1 else None
+    progress = _progress_callback(args)
     result = atlas.run(session=args.session, jobs=args.jobs,
                        progress=progress)
     print(format_atlas_report(result))
@@ -328,13 +375,11 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
-    progress = _progress_to_stderr if args.jobs > 1 else None
+    progress = _progress_callback(args)
     report = run_smoke(args.session, jobs=args.jobs, progress=progress)
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
-            handle.write("\n")
+        atomic_write_text(args.output, text + "\n")
         print(f"saved smoke report to {args.output}", file=sys.stderr)
     if args.json:
         print(text)
@@ -350,6 +395,43 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
               f"{report['total_runs']} runs",
     ))
     return 0 if report["all_verified"] else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = args.session.store
+    if args.cache_command == "stats":
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.cache_command == "prune":
+        from repro.store import code_version
+
+        keep = None if args.everything else code_version()
+        pruned = store.prune(keep)
+        kept = len(store)
+        what = ("all entries" if args.everything
+                else f"entries not at code version {keep}")
+        print(f"pruned {pruned} entr{'y' if pruned == 1 else 'ies'} "
+              f"({what}); {kept} remaining")
+        return 0
+    report = store.verify()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["ok"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.store import ReproServer
+
+    server = ReproServer((args.host, args.port), args.session)
+    print(f"repro serve listening on {server.describe()}", file=sys.stderr)
+    print("POST /run an experiment spec; GET /stats; GET /healthz; "
+          "Ctrl-C to stop", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
 
 
 def _cmd_transforms(args: argparse.Namespace) -> int:
@@ -386,6 +468,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "byte-identical; the fast path is validated against this "
                  "mode by the golden equivalence tests)")
 
+    def add_store_flag(subparser: argparse.ArgumentParser,
+                       required: bool = False) -> None:
+        subparser.add_argument(
+            "--store", metavar="TARGET", required=required,
+            help="persistent result store: a sqlite file path or "
+                 "scheme:target (e.g. memory:name); already-stored "
+                 "results are served without simulating and fresh "
+                 "results are written back, so interrupted runs resume")
+
     table1 = subparsers.add_parser("table1",
                                    help="reproduce Table I (static latencies)")
     table1.add_argument("--configs", nargs="*",
@@ -396,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pointer-chase stride in bytes")
     table1.add_argument("--output", help="save results as a JSON run set")
     add_reference_core_flag(table1)
+    add_store_flag(table1)
     table1.set_defaults(func=_cmd_table1)
 
     sweep = subparsers.add_parser("sweep",
@@ -414,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 1, serial)")
     sweep.add_argument("--output", help="save results as a JSON run set")
     add_reference_core_flag(sweep)
+    add_store_flag(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     dynamic = subparsers.add_parser("dynamic",
@@ -430,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--buckets", type=int, default=24)
     dynamic.add_argument("--output", help="save results as a JSON run set")
     add_reference_core_flag(dynamic)
+    add_store_flag(dynamic)
     dynamic.set_defaults(func=_cmd_dynamic)
 
     run = subparsers.add_parser("run",
@@ -442,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "across (default: 1, serial)")
     run.add_argument("--output", help="save results as a JSON run set")
     add_reference_core_flag(run)
+    add_store_flag(run)
     run.set_defaults(func=_cmd_run)
 
     transforms = subparsers.add_parser(
@@ -475,6 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument(
         "--output", help="save the sensitivity result as JSON")
     add_reference_core_flag(sensitivity)
+    add_store_flag(sensitivity)
     sensitivity.set_defaults(func=_cmd_sensitivity)
 
     microbench = subparsers.add_parser(
@@ -500,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="without --describe: save the run as a "
                                  "JSON run set")
     add_reference_core_flag(microbench)
+    add_store_flag(microbench)
     microbench.set_defaults(func=_cmd_microbench)
 
     atlas = subparsers.add_parser(
@@ -534,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 1, serial)")
     atlas.add_argument("--output", help="save the atlas result as JSON")
     add_reference_core_flag(atlas)
+    add_store_flag(atlas)
     atlas.set_defaults(func=_cmd_atlas)
 
     smoke = subparsers.add_parser(
@@ -552,7 +650,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="save the JSON report to a file (with or "
                             "without --json)")
     add_reference_core_flag(smoke)
+    add_store_flag(smoke)
     smoke.set_defaults(func=_cmd_smoke)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect or maintain a persistent result store")
+    add_store_flag(cache, required=True)
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats",
+        help="entry/byte counts, split by code version and kind")
+    prune = cache_sub.add_parser(
+        "prune",
+        help="drop entries stored under other code versions")
+    prune.add_argument(
+        "--everything", action="store_true",
+        help="drop ALL entries, including the current code version's")
+    cache_sub.add_parser(
+        "verify",
+        help="integrity-check every stored record (exit 1 on corruption)")
+    cache.set_defaults(func=_cmd_cache)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP JSON API serving stored (or freshly simulated) results")
+    add_store_flag(serve, required=True)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="port to bind (default: 8023; 0 picks a free "
+                            "port)")
+    add_reference_core_flag(serve)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -560,10 +690,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.session = Session(
-        reference_core=getattr(args, "reference_core", False))
     try:
-        return args.func(args)
+        args.session = Session(
+            reference_core=getattr(args, "reference_core", False),
+            store=getattr(args, "store", None))
+        result = args.func(args)
+        _report_counters(args)
+        return result
     except (ReproError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -16,7 +16,12 @@ module shards a list of experiments across a pool of worker processes:
   for progress reporting, while :meth:`ParallelExecutor.run` and
   :meth:`Session.run_all` reassemble them in *submission* order, so the
   merged :class:`~repro.experiments.RunSet` is byte-identical to a serial
-  run regardless of worker count or completion timing.
+  run regardless of worker count or completion timing;
+* the persistent result store (:mod:`repro.store`) never enters the
+  pool: :meth:`Session.run_all` serves store hits in the parent before
+  sharding (only genuine misses cross a process boundary) and writes
+  completed records through from the parent's streaming loop, keeping
+  the store single-writer even under ``--jobs N``.
 
 Typical usage goes through the session front door::
 

@@ -20,13 +20,18 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.core.breakdown import BreakdownResult
-from repro.core.exposure import ExposureResult
-from repro.core.hierarchy import HierarchyEstimate
-from repro.core.pointer_chase import LatencySurface
-from repro.core.static import TABLE_I_LEVELS, TableIResult
-from repro.core.stages import STAGE_ORDER
+from repro.core.breakdown import BreakdownResult, LatencyBucket
+from repro.core.exposure import ExposureBucket, ExposureResult
+from repro.core.hierarchy import HierarchyEstimate, HierarchyLevel
+from repro.core.pointer_chase import ChaseMeasurement, LatencySurface
+from repro.core.static import (
+    TABLE_I_LEVELS,
+    GenerationLatencies,
+    TableIResult,
+)
+from repro.core.stages import STAGE_ORDER, Stage
 from repro.gpu.gpu import KernelResult
+from repro.utils.atomic import atomic_write_text
 from repro.utils.errors import ExperimentError
 
 
@@ -356,13 +361,117 @@ class RunSet:
         return cls.from_dict(json.loads(text))
 
     def save(self, path) -> None:
-        """Write the set to ``path`` as canonical JSON."""
-        with open(path, "w") as handle:
-            handle.write(self.to_json())
-            handle.write("\n")
+        """Atomically write the set to ``path`` as canonical JSON."""
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path) -> "RunSet":
         """Read a set previously written with :meth:`save`."""
         with open(path) as handle:
             return cls.from_json(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Payload deserializers: stored record dicts -> rich analysis objects
+# ----------------------------------------------------------------------
+def rehydrate_artifacts(record: RunRecord) -> RunRecord:
+    """Rebuild a record's analysis artifacts from its JSON payload.
+
+    Records served from a persistent result store carry only plain data;
+    this rebuilds the printable analysis objects (``table``, ``surface``
+    + ``hierarchy``, ``breakdown`` + ``exposure``) so store hits render
+    identically to fresh runs in the CLI.  The rebuilt objects are
+    *print-faithful*, not byte-faithful: fields the payload deliberately
+    does not serialize (per-measurement cycle counts, per-load exposure
+    pairs, empty histogram buckets) come back zeroed or empty, and none
+    of the formatters consult them.  A payload from a foreign or older
+    producer that lacks the expected fields leaves the artifacts empty
+    rather than failing the run.  Live simulator state (``gpu``,
+    ``workload``, ``results``) is gone for good — it never serializes.
+    """
+    if record.artifacts:
+        return record
+    payload = record.payload
+    artifacts: Dict[str, Any] = {}
+    try:
+        if record.kind == "static":
+            artifacts["table"] = TableIResult(generations=[
+                GenerationLatencies(
+                    config_name=generation["config"],
+                    label=generation["label"],
+                    measured=dict(generation["measured"]),
+                    paper=dict(generation["paper"]),
+                )
+                for generation in payload["generations"]
+            ])
+        elif record.kind == "sweep":
+            artifacts["surface"] = LatencySurface(
+                config_name=payload["config"],
+                space=payload["space"],
+                measurements=[
+                    ChaseMeasurement(
+                        config_name=payload["config"],
+                        space=payload["space"],
+                        footprint_bytes=m["footprint_bytes"],
+                        stride_bytes=m["stride_bytes"],
+                        measured_accesses=0,
+                        cycles_per_access=m["cycles_per_access"],
+                        baseline_cycles=0,
+                        measured_cycles=0,
+                    )
+                    for m in payload["measurements"]
+                ],
+            )
+            artifacts["hierarchy"] = HierarchyEstimate(
+                stride_bytes=payload["hierarchy"]["stride_bytes"],
+                levels=[
+                    HierarchyLevel(
+                        index=level["index"],
+                        latency=level["latency"],
+                        min_footprint=level["min_footprint"],
+                        max_footprint=level["max_footprint"],
+                    )
+                    for level in payload["hierarchy"]["levels"]
+                ],
+            )
+        elif record.kind == "dynamic":
+            breakdown = payload["breakdown"]
+            artifacts["breakdown"] = BreakdownResult(
+                buckets=[
+                    LatencyBucket(
+                        lower=bucket["lower"],
+                        upper=bucket["upper"],
+                        count=bucket["count"],
+                        stage_cycles={
+                            **{stage: 0 for stage in Stage},
+                            **{Stage(name): cycles for name, cycles
+                               in bucket["stage_cycles"].items()},
+                        },
+                    )
+                    for bucket in breakdown["buckets"]
+                ],
+                total_requests=breakdown["total_requests"],
+                min_latency=breakdown["min_latency"],
+                max_latency=breakdown["max_latency"],
+            )
+            exposure = payload["exposure"]
+            artifacts["exposure"] = ExposureResult(
+                buckets=[
+                    ExposureBucket(
+                        lower=bucket["lower"],
+                        upper=bucket["upper"],
+                        count=bucket["count"],
+                        exposed_cycles=bucket["exposed_cycles"],
+                        hidden_cycles=bucket["hidden_cycles"],
+                    )
+                    for bucket in exposure["buckets"]
+                ],
+                total_loads=exposure["total_loads"],
+                min_latency=exposure["min_latency"],
+                max_latency=exposure["max_latency"],
+                per_load=[],
+            )
+    except (KeyError, TypeError, ValueError):
+        return record
+    record.artifacts = artifacts
+    return record

@@ -24,6 +24,8 @@ Typical usage::
 
 from __future__ import annotations
 
+import inspect
+import os
 from typing import (
     Any,
     Callable,
@@ -47,6 +49,7 @@ from repro.experiments.results import (
     exposure_to_dict,
     launch_to_dict,
     light_artifacts,
+    rehydrate_artifacts,
     sweep_to_dict,
     table_to_dict,
 )
@@ -67,6 +70,39 @@ def _param(experiment: Experiment, name: str) -> Any:
     if name in experiment.params and experiment.params[name] is not None:
         return experiment.params[name]
     return KIND_PARAMS[experiment.kind][name][1]
+
+
+def _progress_notifier(progress: Optional[Callable]) -> Callable:
+    """Adapt a user progress callback to the 4-arg notify convention.
+
+    New-style callbacks take ``(done, total, record, source)`` where
+    ``source`` is ``"cache"``, ``"store"``, or ``"simulated"``; legacy
+    3-arg callbacks (and anything whose signature cannot be inspected)
+    are called without the source, so existing callers keep working.
+    """
+    if progress is None:
+        return lambda done, total, record, source: None
+    wants_source = False
+    try:
+        parameters = inspect.signature(progress).parameters.values()
+        positional = sum(
+            1 for parameter in parameters
+            if parameter.kind in (inspect.Parameter.POSITIONAL_ONLY,
+                                  inspect.Parameter.POSITIONAL_OR_KEYWORD))
+        variadic = any(
+            parameter.kind is inspect.Parameter.VAR_POSITIONAL
+            for parameter in parameters)
+        wants_source = variadic or positional >= 4
+    except (TypeError, ValueError):
+        wants_source = False
+    if wants_source:
+        return progress
+
+    def notify(done: int, total: int, record: RunRecord,
+               source: str) -> None:
+        progress(done, total, record)
+
+    return notify
 
 
 class Session:
@@ -93,17 +129,37 @@ class Session:
         event-accelerated fast path.  Results are byte-identical; this
         is the programmatic face of the CLI's ``--reference-core``
         escape hatch.
+    store:
+        Optional persistent result store: a
+        :class:`~repro.store.ResultStore` instance, or a target string /
+        path for :func:`~repro.store.open_store` (``results.sqlite``,
+        ``sqlite:/path/to.db``, ``memory:name``).  With a store attached
+        the session reads through it before simulating and writes every
+        fresh result back, so sweeps survive process restarts: a re-run
+        simulates only what the store does not already hold for the
+        current code version.  Store hits are counted separately from
+        in-memory cache hits (see :meth:`counters`).
     """
 
     def __init__(self, cache: bool = True,
                  configs: Optional[Mapping[str, GPUConfig]] = None,
-                 reference_core: bool = False) -> None:
+                 reference_core: bool = False,
+                 store: Union[None, str, os.PathLike, Any] = None) -> None:
         self.cache_enabled = cache
         self.reference_core = reference_core
         self._cache: Dict[str, RunRecord] = {}
         self._local_configs: Dict[str, GPUConfig] = dict(configs or {})
         self.cache_hits = 0
         self.cache_misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self.simulated_runs = 0
+        if isinstance(store, (str, os.PathLike)):
+            # Deferred import: repro.store pulls in repro.experiments.
+            from repro.store import open_store
+
+            store = open_store(os.fspath(store))
+        self.store = store
 
     # ------------------------------------------------------------------
     # Session-local configurations
@@ -139,20 +195,51 @@ class Session:
         """Run one experiment (spec object or plain dict) to a RunRecord."""
         if not isinstance(experiment, Experiment):
             experiment = Experiment.from_dict(experiment)
+        record, _source = self._resolve(experiment, use_cache)
+        return record
+
+    def _resolve(self, experiment: Experiment,
+                 use_cache: bool) -> tuple:
+        """Resolve one spec to ``(record, source)``.
+
+        Resolution order: in-memory cache, then the persistent store
+        (rehydrating artifacts so store hits print like fresh runs),
+        then simulation — which always writes through to the store so a
+        later run, or another process, finds the result.
+        ``use_cache=False`` skips both read paths but still writes
+        through: a forced re-run refreshes the store rather than
+        bypassing it.
+        """
         key = self._cache_key(experiment)
         if self.cache_enabled and use_cache and key in self._cache:
             self.cache_hits += 1
-            return self._cache[key]
+            return self._cache[key], "cache"
         self.cache_misses += 1
+        store_key = None
+        if self.store is not None:
+            store_key = self.store_key(experiment)
+            if use_cache:
+                stored = self.store.get(store_key)
+                if stored is not None:
+                    self.store_hits += 1
+                    record = rehydrate_artifacts(
+                        RunRecord.from_dict(stored))
+                    if self.cache_enabled:
+                        self._cache[key] = record
+                    return record, "store"
+                self.store_misses += 1
         runner = {
             "static": self._run_static,
             "sweep": self._run_sweep,
             "dynamic": self._run_dynamic,
         }[experiment.kind]
         record = runner(experiment)
+        self.simulated_runs += 1
+        if self.store is not None:
+            self.store.put(store_key, record.to_dict())
         if self.cache_enabled:
             self._cache[key] = self._cacheable(record)
-        return record
+        return record, "simulated"
 
     def run_many(self, experiments: Iterable[Union[Experiment,
                                                    Mapping[str, Any]]],
@@ -182,39 +269,81 @@ class Session:
         or completion order.
 
         ``progress``, if given, is called as ``progress(done, total,
-        record)`` each time a record resolves (including cache hits).
+        record, source)`` each time a record resolves, where ``source``
+        is ``"cache"``, ``"store"``, or ``"simulated"``; callbacks that
+        accept only three positional arguments are called without the
+        source.
+
+        With a persistent store attached, store hits (including those
+        for specs whose simulation another process already completed)
+        are served in the parent without ever reaching the worker pool —
+        only genuine misses cross a process boundary — and every
+        simulated result is written through to the store as it streams
+        back, so an interrupted parallel sweep keeps each completed
+        cell.
         """
         specs = [experiment if isinstance(experiment, Experiment)
                  else Experiment.from_dict(experiment)
                  for experiment in experiments]
         total = len(specs)
+        notify = _progress_notifier(progress)
         if jobs is None or jobs <= 1:
             records = []
             for spec in specs:
-                record = self.run(spec, use_cache=use_cache)
+                record, source = self._resolve(spec, use_cache)
                 records.append(record)
-                if progress is not None:
-                    progress(len(records), total, record)
+                notify(len(records), total, record, source)
             return RunSet(records=records)
 
         from repro.experiments.parallel import ParallelExecutor
 
         records_by_index: List[Optional[RunRecord]] = [None] * total
         done = 0
-        # Serve parent-cache hits locally and dedupe the misses by spec
-        # hash, so each distinct simulation runs exactly once no matter
-        # how often it appears in the grid.
+        # Serve parent-cache and store hits locally and dedupe the misses
+        # by spec hash, so each distinct simulation runs exactly once no
+        # matter how often it appears in the grid, and only genuine store
+        # misses are sharded across the worker pool.
         pending: Dict[str, List[int]] = {}
+        # Store-served records for cache-disabled sessions: duplicates of
+        # an already-served spec must not re-read (or re-count) the store
+        # entry once per occurrence differently from the serial path.
+        store_served: Dict[str, RunRecord] = {}
         for index, spec in enumerate(specs):
             key = self._cache_key(spec)
             if self.cache_enabled and use_cache and key in self._cache:
                 self.cache_hits += 1
                 records_by_index[index] = self._cache[key]
                 done += 1
-                if progress is not None:
-                    progress(done, total, self._cache[key])
-            else:
-                pending.setdefault(spec.spec_hash(), []).append(index)
+                notify(done, total, self._cache[key], "cache")
+                continue
+            spec_hash = spec.spec_hash()
+            if spec_hash in pending:
+                pending[spec_hash].append(index)
+                continue
+            if spec_hash in store_served:
+                self.cache_misses += 1
+                self.store_hits += 1
+                records_by_index[index] = store_served[spec_hash]
+                done += 1
+                notify(done, total, store_served[spec_hash], "store")
+                continue
+            if self.store is not None and use_cache:
+                stored = self.store.get(self.store_key(spec))
+                if stored is not None:
+                    self.cache_misses += 1
+                    self.store_hits += 1
+                    record = rehydrate_artifacts(
+                        RunRecord.from_dict(stored))
+                    if self.cache_enabled:
+                        self._cache[key] = record
+                    else:
+                        store_served[spec_hash] = record
+                    records_by_index[index] = record
+                    done += 1
+                    notify(done, total, record, "store")
+                    continue
+                self.store_misses += 1
+            pending[spec_hash] = [index]
         if pending:
             unique = [specs[indices[0]] for indices in pending.values()]
             with ParallelExecutor(jobs=jobs,
@@ -224,6 +353,13 @@ class Session:
                 for completed in executor.imap(unique):
                     indices = pending[completed.spec_hash]
                     record = completed.record
+                    self.simulated_runs += 1
+                    # Write through before announcing progress, so any
+                    # observer of the progress stream (or a crash right
+                    # after it) finds the cell durably stored.
+                    if self.store is not None:
+                        self.store.put(self.store_key(specs[indices[0]]),
+                                       record.to_dict())
                     # Counter parity with the serial path: with caching
                     # active, one miss plus a hit per deduplicated
                     # occurrence; with it off, every occurrence would
@@ -239,8 +375,7 @@ class Session:
                     for index in indices:
                         records_by_index[index] = record
                         done += 1
-                        if progress is not None:
-                            progress(done, total, record)
+                        notify(done, total, record, "simulated")
         return RunSet(records=list(records_by_index))
 
     def run_json(self, text: str, use_cache: bool = True,
@@ -273,6 +408,45 @@ class Session:
             "misses": self.cache_misses,
             "size": len(self._cache),
         }
+
+    def counters(self) -> Dict[str, int]:
+        """All resolution counters: memory cache, store, and simulations.
+
+        ``simulated`` counts actual simulator invocations (including
+        those sharded to worker processes); ``store_hits`` +
+        ``store_misses`` only move when a store is attached.  A warmed
+        store shows up here as ``simulated == 0`` on a repeat run.
+        """
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "simulated": self.simulated_runs,
+        }
+
+    def store_key(self, experiment: Union[Experiment, Mapping[str, Any]]):
+        """The content-addressed store key of ``experiment`` here and now.
+
+        "Here and now" because two of the three components are
+        session/state dependent: ``config_hash`` fingerprints the
+        *resolved* configurations (session-local overrides and all) and
+        ``code_version`` fingerprints the currently installed simulator
+        source.  Only ``spec_hash`` is a pure function of the spec.
+        """
+        from repro.store import StoreKey, config_fingerprint, code_version
+
+        if not isinstance(experiment, Experiment):
+            experiment = Experiment.from_dict(experiment)
+        names = list(experiment.configs)
+        if experiment.kind == "static" and not names:
+            names = table_i_generations()
+        return StoreKey(
+            spec_hash=experiment.spec_hash(),
+            config_hash=config_fingerprint(
+                self.resolve_config(name) for name in names),
+            code_version=code_version(),
+        )
 
     def clear_cache(self) -> None:
         """Drop all cached results (counters are kept)."""

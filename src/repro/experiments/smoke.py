@@ -93,7 +93,9 @@ def run_smoke(session, jobs: Optional[int] = 1,
     removals visible.
     """
     grid = smoke_experiments()
+    before = session.counters()
     runs = session.run_all(list(grid.values()), jobs=jobs, progress=progress)
+    after = session.counters()
     report_runs = []
     for (workload, config), record in zip(grid.keys(), runs):
         report_runs.append({
@@ -114,5 +116,9 @@ def run_smoke(session, jobs: Optional[int] = 1,
         "config_count": len(configs),
         "total_runs": len(report_runs),
         "all_verified": all(run["verified"] for run in report_runs),
+        # Resolution-counter deltas for this grid: how many runs actually
+        # simulated vs. were served from the memory cache or a persistent
+        # store.  CI's store step asserts "simulated == 0" on a warm run.
+        "counters": {name: after[name] - before[name] for name in after},
         "runs": report_runs,
     }

@@ -41,6 +41,7 @@ from repro.sensitivity.study import (
     _normalise_chain,
 )
 from repro.sensitivity.transforms import TransformChain, nominal_dram_latency
+from repro.utils.atomic import atomic_write_text
 from repro.utils.errors import ExperimentError
 
 
@@ -317,10 +318,8 @@ class AtlasResult:
         return cls.from_dict(json.loads(text))
 
     def save(self, path) -> None:
-        """Write the result to ``path`` as canonical JSON."""
-        with open(path, "w") as handle:
-            handle.write(self.to_json())
-            handle.write("\n")
+        """Atomically write the result to ``path`` as canonical JSON."""
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path) -> "AtlasResult":

@@ -1,0 +1,52 @@
+"""Persistent content-addressed result store (``repro.store``).
+
+See :mod:`repro.store.base` for the keying scheme and backend contract,
+:mod:`repro.store.version` for code-version invalidation, and
+:mod:`repro.store.serve` for the ``repro serve`` front end.
+"""
+
+# Import order matters: ``serve`` imports ``repro.experiments.spec``,
+# which may be mid-import when ``Session`` lazily pulls in this package
+# — keep the store core importable before ``serve`` joins the party.
+from repro.store.base import (
+    STORE_REGISTRY,
+    ResultStore,
+    StoreKey,
+    available_stores,
+    canonical_record_json,
+    config_fingerprint,
+    open_store,
+    record_checksum,
+    register_store,
+    unregister_store,
+)
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SqliteStore
+from repro.store.version import (
+    CODE_VERSION_ENV,
+    code_version,
+    compute_code_version,
+    fingerprint_files,
+)
+from repro.store.serve import RequestBroker, ReproServer
+
+__all__ = [
+    "STORE_REGISTRY",
+    "ResultStore",
+    "StoreKey",
+    "available_stores",
+    "canonical_record_json",
+    "config_fingerprint",
+    "open_store",
+    "record_checksum",
+    "register_store",
+    "unregister_store",
+    "MemoryStore",
+    "SqliteStore",
+    "CODE_VERSION_ENV",
+    "code_version",
+    "compute_code_version",
+    "fingerprint_files",
+    "RequestBroker",
+    "ReproServer",
+]

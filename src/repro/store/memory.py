@@ -1,0 +1,83 @@
+"""In-memory result-store backend.
+
+The :class:`MemoryStore` keeps the canonical record JSON in a plain
+dict.  It exists for three reasons: as the reference implementation of
+the :class:`~repro.store.base.ResultStore` interface (tests run every
+contract test against both backends), as a zero-setup store for
+short-lived tooling (``repro serve --store memory:``), and as the
+process-shared variant behind ``memory:NAME`` targets — two sessions in
+one process opening the same name share one store, which is how tests
+exercise cross-session hits without touching disk.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.store.base import ResultStore, StoreKey, register_store
+
+#: Process-global named stores for ``memory:NAME`` targets.
+_SHARED: Dict[str, "MemoryStore"] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+@register_store
+class MemoryStore(ResultStore):
+    """Result store held entirely in process memory."""
+
+    scheme = "memory"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._entries: Dict[StoreKey, str] = {}
+        self._checksums: Dict[StoreKey, str] = {}
+
+    @classmethod
+    def from_target(cls, target: str) -> "MemoryStore":
+        """``memory:`` -> a fresh private store; ``memory:NAME`` -> the
+        process-shared store of that name (created on first open)."""
+        if not target:
+            return cls()
+        with _SHARED_LOCK:
+            if target not in _SHARED:
+                _SHARED[target] = cls(name=target)
+            return _SHARED[target]
+
+    # -- backend primitives -------------------------------------------
+    def _get_text(self, key: StoreKey) -> Optional[str]:
+        with self._lock:
+            return self._entries.get(key)
+
+    def _put_text(self, key: StoreKey, kind: str, text: str,
+                  checksum: str) -> None:
+        with self._lock:
+            self._entries[key] = text
+            self._checksums[key] = checksum
+
+    def _delete(self, key: StoreKey) -> bool:
+        with self._lock:
+            self._checksums.pop(key, None)
+            return self._entries.pop(key, None) is not None
+
+    def keys(self) -> List[StoreKey]:
+        with self._lock:
+            return sorted(self._entries, key=StoreKey.as_tuple)
+
+    def _verify_entry(self, key: StoreKey) -> Optional[str]:
+        problem = super()._verify_entry(key)
+        if problem is not None:
+            return problem
+        from repro.store.base import record_checksum
+
+        with self._lock:
+            text = self._entries.get(key)
+            expected = self._checksums.get(key)
+        if text is not None and expected is not None \
+                and record_checksum(text) != expected:
+            return "record bytes do not match the stored checksum"
+        return None
+
+    def describe_target(self) -> str:
+        return f"memory:{self.name}" if self.name else "memory:(private)"

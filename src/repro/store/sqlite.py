@@ -1,0 +1,202 @@
+"""Disk-backed result-store backend: a sqlite index over JSON records.
+
+One sqlite file holds everything: the ``results`` table is both the
+index (primary key = the content-addressed
+:class:`~repro.store.base.StoreKey` triple) and the payload storage
+(canonical record JSON plus its sha256, so ``repro cache verify`` can
+detect bit rot).  Design points:
+
+* **Crash durability per record.**  Every ``put`` commits its own
+  transaction, so a run killed mid-sweep keeps every already-completed
+  cell — that is what makes atlas/sweep runs resumable.
+* **Single-writer discipline.**  Parallel sweeps write only from the
+  parent process (workers return records over the pipe), so the common
+  case never contends; concurrent *processes* sharing one store are
+  serialized by sqlite's own file locking with a generous busy timeout.
+* **Thread safety.**  One connection guarded by a lock
+  (``check_same_thread=False``), so the threaded ``repro serve``
+  front end can share a store across request handlers.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.store.base import (
+    ResultStore,
+    StoreKey,
+    record_checksum,
+    register_store,
+)
+from repro.utils.errors import StoreError
+
+#: Schema version recorded in the ``meta`` table; bump on layout changes.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    spec_hash     TEXT NOT NULL,
+    config_hash   TEXT NOT NULL,
+    code_version  TEXT NOT NULL,
+    kind          TEXT NOT NULL,
+    record_json   TEXT NOT NULL,
+    record_sha256 TEXT NOT NULL,
+    created_at    REAL NOT NULL,
+    PRIMARY KEY (spec_hash, config_hash, code_version)
+);
+CREATE INDEX IF NOT EXISTS idx_results_code_version
+    ON results (code_version);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+@register_store
+class SqliteStore(ResultStore):
+    """Result store persisted as a single sqlite database file."""
+
+    scheme = "sqlite"
+
+    def __init__(self, path: str, timeout: float = 30.0) -> None:
+        self.path = os.fspath(path)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        if not os.path.isdir(directory):
+            raise StoreError(
+                f"cannot open result store {self.path!r}: directory "
+                f"{directory!r} does not exist"
+            )
+        self._lock = threading.Lock()
+        try:
+            self._conn = sqlite3.connect(self.path, timeout=timeout,
+                                         check_same_thread=False)
+        except sqlite3.Error as exc:
+            raise StoreError(
+                f"cannot open result store {self.path!r}: {exc}"
+            ) from exc
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        if row is not None and row[0] != str(SCHEMA_VERSION):
+            raise StoreError(
+                f"result store {self.path!r} has schema version {row[0]}, "
+                f"this build expects {SCHEMA_VERSION}; prune it or point "
+                f"--store somewhere else"
+            )
+
+    @classmethod
+    def from_target(cls, target: str) -> "SqliteStore":
+        """``sqlite:PATH`` (or a bare path via ``open_store``)."""
+        if not target:
+            raise StoreError("sqlite store target needs a file path")
+        return cls(target)
+
+    # -- backend primitives -------------------------------------------
+    def _get_text(self, key: StoreKey) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT record_json FROM results WHERE spec_hash = ? AND "
+                "config_hash = ? AND code_version = ?",
+                key.as_tuple(),
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    def _put_text(self, key: StoreKey, kind: str, text: str,
+                  checksum: str) -> None:
+        # One transaction per record: a killed run keeps everything
+        # committed so far, which is the whole point of resumability.
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (spec_hash, config_hash, "
+                "code_version, kind, record_json, record_sha256, "
+                "created_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                key.as_tuple() + (kind, text, checksum, time.time()),
+            )
+
+    def _delete(self, key: StoreKey) -> bool:
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE spec_hash = ? AND "
+                "config_hash = ? AND code_version = ?",
+                key.as_tuple(),
+            )
+        return cursor.rowcount > 0
+
+    def keys(self) -> List[StoreKey]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT spec_hash, config_hash, code_version FROM results "
+                "ORDER BY spec_hash, config_hash, code_version"
+            ).fetchall()
+        return [StoreKey(*row) for row in rows]
+
+    def prune(self, keep_code_version: Optional[str]) -> int:
+        with self._lock, self._conn:
+            if keep_code_version is None:
+                cursor = self._conn.execute("DELETE FROM results")
+            else:
+                cursor = self._conn.execute(
+                    "DELETE FROM results WHERE code_version != ?",
+                    (keep_code_version,),
+                )
+        return cursor.rowcount
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            total, total_bytes = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(LENGTH(record_json)), 0) "
+                "FROM results"
+            ).fetchone()
+            by_version = dict(self._conn.execute(
+                "SELECT code_version, COUNT(*) FROM results "
+                "GROUP BY code_version ORDER BY code_version"
+            ).fetchall())
+            by_kind = dict(self._conn.execute(
+                "SELECT kind, COUNT(*) FROM results "
+                "GROUP BY kind ORDER BY kind"
+            ).fetchall())
+        try:
+            file_bytes = os.path.getsize(self.path)
+        except OSError:
+            file_bytes = 0
+        return {
+            "target": self.describe_target(),
+            "entries": total,
+            "record_bytes": total_bytes,
+            "file_bytes": file_bytes,
+            "by_code_version": by_version,
+            "by_kind": by_kind,
+        }
+
+    def _verify_entry(self, key: StoreKey) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT record_json, record_sha256 FROM results WHERE "
+                "spec_hash = ? AND config_hash = ? AND code_version = ?",
+                key.as_tuple(),
+            ).fetchone()
+        if row is None:
+            return "entry vanished during verification"
+        text, stored_checksum = row
+        if record_checksum(text) != stored_checksum:
+            return "record bytes do not match the stored checksum"
+        problem = super()._verify_entry(key)
+        return problem
+
+    def describe_target(self) -> str:
+        return f"sqlite:{self.path}"
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

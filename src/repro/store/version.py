@@ -1,0 +1,86 @@
+"""Code-version fingerprinting for the persistent result store.
+
+A stored result is only reusable while the simulator that produced it
+still exists: any change to the timing model, the ISA semantics, a
+workload generator, or the analysis serializers can change what a given
+experiment spec means.  :func:`code_version` captures that as a content
+hash of the *simulator-relevant* source tree — every ``.py`` file under
+the installed ``repro`` package except the subtrees that provably cannot
+affect a stored record:
+
+* ``repro/store/`` itself (the storage layer reads results, it does not
+  produce them),
+* ``repro/analysis/`` (rendering of already-computed payloads), and
+* ``repro/cli.py`` (argument plumbing over the session layer).
+
+The fingerprint is deliberately conservative: a refactor that provably
+preserves results still bumps the version and invalidates the store.
+That trades some re-simulation for never serving a stale result — cheap
+insurance, since misses just re-simulate and re-populate.
+
+``REPRO_CODE_VERSION`` in the environment overrides the computed
+fingerprint (both for pinning a version across a deliberately unrelated
+code change and for exercising invalidation in tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: Environment variable overriding the computed fingerprint.
+CODE_VERSION_ENV = "REPRO_CODE_VERSION"
+
+#: Package-relative path prefixes (POSIX style) excluded from the
+#: fingerprint because they cannot change what a simulation produces.
+EXCLUDED_PREFIXES: Tuple[str, ...] = ("store/", "analysis/", "cli.py")
+
+#: Memoized computed fingerprint (the source tree does not change within
+#: one process; the env override is consulted on every call).
+_COMPUTED: Optional[str] = None
+
+
+def _package_root() -> Path:
+    """Directory of the installed ``repro`` package."""
+    return Path(__file__).resolve().parent.parent
+
+
+def fingerprint_files(root: Optional[Path] = None) -> Tuple[str, ...]:
+    """The package-relative POSIX paths that enter the fingerprint."""
+    root = root if root is not None else _package_root()
+    selected = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        if any(relative.startswith(prefix) for prefix in EXCLUDED_PREFIXES):
+            continue
+        selected.append(relative)
+    return tuple(selected)
+
+
+def compute_code_version(root: Optional[Path] = None) -> str:
+    """Content hash (16 hex chars) of the simulator-relevant source tree.
+
+    Hashes each selected file's package-relative path and bytes, so both
+    edits and file renames/additions/removals change the version.
+    """
+    root = root if root is not None else _package_root()
+    digest = hashlib.sha256()
+    for relative in fingerprint_files(root):
+        digest.update(relative.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update((root / relative).read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def code_version() -> str:
+    """The current code version: env override or memoized content hash."""
+    override = os.environ.get(CODE_VERSION_ENV)
+    if override:
+        return override
+    global _COMPUTED
+    if _COMPUTED is None:
+        _COMPUTED = compute_code_version()
+    return _COMPUTED

@@ -1,0 +1,36 @@
+"""Atomic file writes for result artifacts.
+
+Every ``--output`` path in the CLI (run sets, sensitivity studies, atlas
+results, smoke reports) is written through :func:`atomic_write_text`:
+the bytes land in a temporary file in the destination directory, are
+fsynced, and are then :func:`os.replace`-d over the target.  A reader —
+or a crash, or a concurrent writer losing the race — therefore only ever
+sees the old complete file or the new complete file, never a torn one.
+This matters for resumable sweeps, where the natural workflow re-runs a
+command with the same ``--output`` path it half-finished last time.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` so readers never see a partial file."""
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -34,3 +34,7 @@ class RegistryError(ReproError, KeyError):
 
 class ExperimentError(ReproError):
     """An experiment specification is invalid or a run failed."""
+
+
+class StoreError(ReproError):
+    """A persistent result store is unusable, corrupt, or misaddressed."""
