@@ -66,11 +66,12 @@ path, or ``scheme:target``): results already stored are served without
 simulating — the stderr progress stream labels each record ``cache``,
 ``store``, or ``simulated``, and a final stderr line counts them — and
 fresh results are written back, which makes interrupted sweeps
-resumable.  Every experiment subcommand also accepts
-``--reference-core`` to run the simulator's straight-line reference
-loop instead of the event-accelerated fast path (byte-identical
-results, mainly useful for validating the fast path; stored results
-are shared between the two modes).
+resumable.  Every experiment subcommand also accepts ``--core NAME`` to
+pick the simulation-core backend (``repro cores`` lists them):
+``reference``, ``fast``, and ``vector`` are byte-identical and share
+stored results; ``estimator`` trades exact cycle counts for speed and
+is stored separately.  The older ``--reference-core`` flag remains as a
+deprecated alias for ``--core reference``.
 """
 
 from __future__ import annotations
@@ -96,6 +97,7 @@ from repro.experiments import (
     run_smoke,
 )
 from repro.gpu import available_configs, get_config
+from repro.simt.backend import CORE_BACKENDS, available_core_backends
 from repro.sensitivity import (
     TRANSFORM_REGISTRY,
     LatencyToleranceAtlas,
@@ -384,14 +386,16 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     if args.json:
         print(text)
         return 0
-    rows = [[run["workload"], run["config"], str(run["cycles"]),
-             str(run["instructions"]), "yes" if run["verified"] else "NO"]
+    rows = [[run["workload"], run["config"], run["core"],
+             str(run["cycles"]), str(run["instructions"]),
+             "yes" if run["verified"] else "NO"]
             for run in report["runs"]]
     print(format_table(
-        ["workload", "config", "cycles", "instructions", "verified"],
+        ["workload", "config", "core", "cycles", "instructions", "verified"],
         rows,
         title=f"Smoke matrix: {report['workload_count']} workload(s) x "
-              f"{report['config_count']} configuration(s) = "
+              f"{report['config_count']} configuration(s) x "
+              f"{report['core_count']} core(s) = "
               f"{report['total_runs']} runs",
     ))
     return 0 if report["all_verified"] else 1
@@ -443,6 +447,17 @@ def _cmd_transforms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cores(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_core_backends():
+        backend = CORE_BACKENDS.get(name)
+        rows.append([name, "yes" if backend.exact else "no",
+                     CORE_BACKENDS.describe(name)])
+    print(format_table(["name", "exact", "description"], rows,
+                       title="Registered simulation-core backends"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -462,11 +477,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_reference_core_flag(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
+            "--core", metavar="NAME",
+            help="simulation-core backend to run on (see 'repro cores'); "
+                 "reference/fast/vector are byte-identical and share "
+                 "stored results, estimator is approximate and stored "
+                 "separately (default: each configuration's own choice, "
+                 "normally 'fast')")
+        subparser.add_argument(
             "--reference-core", action="store_true",
-            help="run the straight-line reference simulation loop instead "
-                 "of the event-accelerated fast path (results are "
-                 "byte-identical; the fast path is validated against this "
-                 "mode by the golden equivalence tests)")
+            help="deprecated alias for --core reference")
 
     def add_store_flag(subparser: argparse.ArgumentParser,
                        required: bool = False) -> None:
@@ -542,6 +561,10 @@ def build_parser() -> argparse.ArgumentParser:
     transforms = subparsers.add_parser(
         "transforms", help="list registered configuration transforms")
     transforms.set_defaults(func=_cmd_transforms)
+
+    cores = subparsers.add_parser(
+        "cores", help="list registered simulation-core backends")
+    cores.set_defaults(func=_cmd_cores)
 
     sensitivity = subparsers.add_parser(
         "sensitivity",
@@ -690,9 +713,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    core = getattr(args, "core", None)
+    if getattr(args, "reference_core", False):
+        print("warning: --reference-core is deprecated; use "
+              "--core reference", file=sys.stderr)
+        if core is not None and core != "reference":
+            print(f"error: --core {core} conflicts with --reference-core",
+                  file=sys.stderr)
+            return 2
+        core = "reference"
     try:
         args.session = Session(
-            reference_core=getattr(args, "reference_core", False),
+            core=core,
             store=getattr(args, "store", None))
         result = args.func(args)
         _report_counters(args)

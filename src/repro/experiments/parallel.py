@@ -91,13 +91,12 @@ def _start_method() -> str:
 
 
 def _init_worker(configs: Dict[str, GPUConfig],
-                 reference_core: bool = False) -> None:
+                 core: Optional[str] = None) -> None:
     """Pool initializer: build this worker's long-lived session once."""
     global _WORKER_SESSION
     from repro.experiments.session import Session  # deferred: avoid cycle
 
-    _WORKER_SESSION = Session(cache=True, configs=configs,
-                              reference_core=reference_core)
+    _WORKER_SESSION = Session(cache=True, configs=configs, core=core)
 
 
 def _run_in_worker(
@@ -153,20 +152,38 @@ class ParallelExecutor:
     mp_context:
         Optional :mod:`multiprocessing` context (or start-method name)
         overriding the platform default (``fork`` where available).
+    core:
+        Optional core-backend name propagated into every worker's
+        session (see :class:`~repro.experiments.session.Session`).
     reference_core:
-        Propagated into every worker's session (see
-        :class:`~repro.experiments.session.Session`).
+        **Deprecated** alias for ``core="reference"``; emits a
+        :class:`DeprecationWarning`.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  configs: Optional[Mapping[str, GPUConfig]] = None,
                  mp_context: Union[str, Any, None] = None,
+                 core: Optional[str] = None,
                  reference_core: bool = False) -> None:
         if jobs is not None and jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if reference_core:
+            import warnings
+
+            warnings.warn(
+                "ParallelExecutor(reference_core=True) is deprecated; use "
+                "core='reference'",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if core is not None and core != "reference":
+                raise ExperimentError(
+                    f"core={core!r} conflicts with reference_core=True"
+                )
+            core = "reference"
         self.jobs = jobs or default_jobs()
         self._configs = dict(configs or {})
-        self._reference_core = reference_core
+        self._core = core
         if mp_context is None:
             mp_context = _start_method()
         if isinstance(mp_context, str):
@@ -190,7 +207,7 @@ class ParallelExecutor:
                 max_workers=self.jobs,
                 mp_context=self._mp_context,
                 initializer=_init_worker,
-                initargs=(self._configs, self._reference_core),
+                initargs=(self._configs, self._core),
             )
         return self._pool
 

@@ -61,6 +61,7 @@ from repro.experiments.spec import (
 )
 from repro.gpu import GPU, get_config, table_i_generations
 from repro.gpu.config import GPUConfig
+from repro.simt.backend import core_backend_is_exact
 from repro.utils.errors import ExperimentError
 from repro.workloads import create_workload
 
@@ -123,12 +124,20 @@ class Session:
         Optional session-local configuration overrides: a mapping of name
         to :class:`GPUConfig` consulted before the global registry.  Use
         :meth:`add_config` to add ad-hoc variants (ablation studies).
+    core:
+        Optional simulation-core backend name (``"reference"``,
+        ``"fast"``, ``"vector"``, ``"estimator"``, or anything
+        registered through
+        :func:`~repro.simt.backend.register_core_backend`).  When set,
+        every configuration this session resolves runs on that backend;
+        when ``None`` (the default) each configuration's own
+        ``core_backend`` field decides.  This is the programmatic face
+        of the CLI's ``--core`` flag.
     reference_core:
-        When ``True``, every configuration this session resolves runs on
-        the simulator's reference (straight-line) core instead of the
-        event-accelerated fast path.  Results are byte-identical; this
-        is the programmatic face of the CLI's ``--reference-core``
-        escape hatch.
+        **Deprecated** boolean predecessor of ``core``.
+        ``Session(reference_core=True)`` still works: it emits a
+        :class:`DeprecationWarning` and behaves exactly like
+        ``core="reference"``.
     store:
         Optional persistent result store: a
         :class:`~repro.store.ResultStore` instance, or a target string /
@@ -143,10 +152,25 @@ class Session:
 
     def __init__(self, cache: bool = True,
                  configs: Optional[Mapping[str, GPUConfig]] = None,
+                 core: Optional[str] = None,
                  reference_core: bool = False,
                  store: Union[None, str, os.PathLike, Any] = None) -> None:
         self.cache_enabled = cache
-        self.reference_core = reference_core
+        if reference_core:
+            import warnings
+
+            warnings.warn(
+                "Session(reference_core=True) is deprecated; use "
+                "Session(core='reference')",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if core is not None and core != "reference":
+                raise ExperimentError(
+                    f"core={core!r} conflicts with reference_core=True"
+                )
+            core = "reference"
+        self.core = core
         self._cache: Dict[str, RunRecord] = {}
         self._local_configs: Dict[str, GPUConfig] = dict(configs or {})
         self.cache_hits = 0
@@ -183,8 +207,8 @@ class Session:
             config = self._local_configs[name]
         else:
             config = get_config(name)
-        if self.reference_core and not config.reference_core:
-            config = config.replace(reference_core=True)
+        if self.core is not None and config.core_backend != self.core:
+            config = config.replace(core_backend=self.core)
         return config
 
     # ------------------------------------------------------------------
@@ -348,8 +372,7 @@ class Session:
             unique = [specs[indices[0]] for indices in pending.values()]
             with ParallelExecutor(jobs=jobs,
                                   configs=self._local_configs,
-                                  reference_core=self.reference_core
-                                  ) as executor:
+                                  core=self.core) as executor:
                 for completed in executor.imap(unique):
                     indices = pending[completed.spec_hash]
                     record = completed.record
@@ -543,18 +566,26 @@ class Session:
             )
         breakdown = breakdown_from_tracker(gpu.tracker, num_buckets=buckets)
         exposure = compute_exposure(gpu.tracker, num_buckets=buckets)
+        payload = {
+            "config": config.name,
+            "workload": experiment.workload,
+            "verified": bool(verify),
+            "breakdown": breakdown_to_dict(breakdown),
+            "exposure": exposure_to_dict(exposure),
+        }
+        # Approximate backends label their results so nothing downstream
+        # mistakes estimated cycle counts for exact ones.  Exact backends
+        # add no key: their payloads stay byte-identical to each other
+        # (and to records produced before backends existed).
+        if not core_backend_is_exact(config.core_backend):
+            payload["core"] = config.core_backend
+            payload["estimated_cycles"] = True
         return RunRecord(
             experiment=experiment.to_dict(),
             kind="dynamic",
             total_cycles=sum(result.cycles for result in results),
             launches=[launch_to_dict(result) for result in results],
-            payload={
-                "config": config.name,
-                "workload": experiment.workload,
-                "verified": bool(verify),
-                "breakdown": breakdown_to_dict(breakdown),
-                "exposure": exposure_to_dict(exposure),
-            },
+            payload=payload,
             artifacts={
                 "gpu": gpu,
                 "workload": workload,

@@ -69,6 +69,13 @@ def check_registry_coverage() -> None:
         )
 
 
+#: Core backends the smoke matrix exercises by default.  The reference
+#: core is deliberately absent (it is the slow golden baseline, pinned
+#: by the equivalence tests instead); a session constructed with an
+#: explicit ``core`` restricts the matrix to that one backend.
+SMOKE_CORES = ("fast", "vector")
+
+
 def smoke_experiments() -> Dict[tuple, Experiment]:
     """The smoke grid: one tiny dynamic experiment per workload x config."""
     check_registry_coverage()
@@ -83,42 +90,70 @@ def smoke_experiments() -> Dict[tuple, Experiment]:
 
 def run_smoke(session, jobs: Optional[int] = 1,
               progress: Optional[Callable[[int, int, RunRecord], None]]
-              = None) -> Dict[str, Any]:
-    """Run the whole smoke grid; returns a JSON-ready report.
+              = None, cores: Optional[tuple] = None) -> Dict[str, Any]:
+    """Run the whole smoke grid on every smoke core; returns a report.
 
-    Verification failures raise (the session verifies every dynamic
-    run), so a passing report means every registered pair simulated to
-    completion *and* produced correct results.  The report's counts are
-    what the CI job asserts against, making registry additions and
-    removals visible.
+    The matrix is workload x configuration x **core backend**: the grid
+    of tiny experiments runs once per entry in ``cores`` (default
+    :data:`SMOKE_CORES`, or just the session's own core when it was
+    constructed with one), each pass on a per-core session that shares
+    the caller's store and local configs.  Verification failures raise
+    (the session verifies every dynamic run), so a passing report means
+    every registered pair simulated to completion *and* produced correct
+    results on every core.  The report's counts are what the CI job
+    asserts against, making registry additions and removals visible.
+
+    With a store attached, later exact cores are served the first exact
+    core's results (byte-identical backends share a store key class by
+    design), so a stored smoke run stays cheap; the core dimension only
+    re-simulates where it must.
     """
+    if cores is None:
+        cores = (session.core,) if session.core is not None else SMOKE_CORES
     grid = smoke_experiments()
-    before = session.counters()
-    runs = session.run_all(list(grid.values()), jobs=jobs, progress=progress)
-    after = session.counters()
     report_runs = []
-    for (workload, config), record in zip(grid.keys(), runs):
-        report_runs.append({
-            "workload": workload,
-            "config": config,
-            "cycles": record.total_cycles,
-            "instructions": sum(launch.get("instructions", 0)
-                                for launch in record.launches),
-            "launches": len(record.launches),
-            "verified": bool(record.payload.get("verified", False)),
-        })
+    counters: Dict[str, int] = {}
+    for core in cores:
+        if core == session.core:
+            core_session = session
+        else:
+            from repro.experiments.session import Session
+
+            core_session = Session(cache=session.cache_enabled,
+                                   configs=session._local_configs,
+                                   core=core, store=session.store)
+        before = core_session.counters()
+        runs = core_session.run_all(list(grid.values()), jobs=jobs,
+                                    progress=progress)
+        after = core_session.counters()
+        for name in after:
+            counters[name] = (counters.get(name, 0)
+                              + after[name] - before[name])
+        for (workload, config), record in zip(grid.keys(), runs):
+            report_runs.append({
+                "workload": workload,
+                "config": config,
+                "core": core,
+                "cycles": record.total_cycles,
+                "instructions": sum(launch.get("instructions", 0)
+                                    for launch in record.launches),
+                "launches": len(record.launches),
+                "verified": bool(record.payload.get("verified", False)),
+            })
     workloads = sorted(SMOKE_PARAMS)
     configs = available_configs()
     return {
         "workloads": workloads,
         "configs": configs,
+        "cores": list(cores),
         "workload_count": len(workloads),
         "config_count": len(configs),
+        "core_count": len(cores),
         "total_runs": len(report_runs),
         "all_verified": all(run["verified"] for run in report_runs),
         # Resolution-counter deltas for this grid: how many runs actually
         # simulated vs. were served from the memory cache or a persistent
         # store.  CI's store step asserts "simulated == 0" on a warm run.
-        "counters": {name: after[name] - before[name] for name in after},
+        "counters": counters,
         "runs": report_runs,
     }

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Union
 
 from repro.memory.address import AddressMapping
 from repro.memory.interconnect import InterconnectConfig
@@ -57,7 +58,21 @@ class GPUConfig:
     num_sms:
         Number of streaming multiprocessors.
     core:
-        Per-SM configuration (schedulers, pipelines, L1).
+        Per-SM configuration (schedulers, pipelines, L1).  As a
+        convenience, a backend *name* string may be passed here
+        (``GPUConfig(core="vector")``); it is moved to
+        :attr:`core_backend` and the per-SM configuration falls back to
+        the :class:`CoreConfig` defaults.
+    core_backend:
+        Name of the registered simulation-core backend that executes
+        this configuration's SMs (see :mod:`repro.simt.backend`).
+        Built-ins: ``"reference"`` (trusted straight-line loop),
+        ``"fast"`` (event-skipping ready sets, the default),
+        ``"vector"`` (NumPy batch core, byte-identical), and
+        ``"estimator"`` (vector core with quantized memory timing —
+        approximate cycle counts, keyed separately in the result
+        store).  Validated against the registry when a
+        :class:`~repro.gpu.gpu.GPU` is built.
     interconnect:
         Crossbar parameters shared by the request and reply networks.
     mapping:
@@ -69,26 +84,45 @@ class GPUConfig:
     max_cycles:
         Safety limit on simulated cycles per kernel launch.
     reference_core:
-        When ``True``, the simulator runs the straight-line per-cycle
-        loop (scan every warp, tick every memory component every cycle)
-        instead of the event-accelerated fast path.  Results are
-        byte-identical either way — the reference core exists as the
-        trusted baseline the golden equivalence tests compare against,
-        and as an escape hatch (``repro ... --reference-core``).
+        **Deprecated** boolean predecessor of :attr:`core_backend`.
+        ``GPUConfig(reference_core=True)`` still works: it emits a
+        :class:`DeprecationWarning` and normalizes to
+        ``core_backend="reference"`` (the stored field is reset to
+        ``False`` so reprs — and therefore store fingerprints — have a
+        single canonical form).  Use ``core_backend="reference"``.
     """
 
     name: str
     description: str = ""
     num_sms: int = 4
-    core: CoreConfig = field(default_factory=CoreConfig)
+    core: Union[CoreConfig, str] = field(default_factory=CoreConfig)
     interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
     mapping: AddressMapping = field(default_factory=AddressMapping)
     partition: PartitionConfig = field(default_factory=PartitionConfig)
     global_memory_bytes: int = 64 * 1024 * 1024
     max_cycles: int = 50_000_000
+    core_backend: str = "fast"
     reference_core: bool = False
 
     def __post_init__(self) -> None:
+        if isinstance(self.core, str):
+            # GPUConfig(core="vector"): a backend name in the core slot.
+            object.__setattr__(self, "core_backend", self.core)
+            object.__setattr__(self, "core", CoreConfig())
+        if not isinstance(self.core_backend, str) or not self.core_backend:
+            raise ConfigurationError(
+                "core_backend must be a non-empty backend name (see "
+                "repro.simt.backend.available_core_backends())"
+            )
+        if self.reference_core:
+            warnings.warn(
+                "GPUConfig(reference_core=True) is deprecated; use "
+                "core_backend='reference' (or core='reference')",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "core_backend", "reference")
+            object.__setattr__(self, "reference_core", False)
         if self.num_sms < 1:
             raise ConfigurationError("num_sms must be >= 1")
         if self.global_memory_bytes < 1024:

@@ -10,6 +10,7 @@ from repro.gpu.config import GPUConfig
 from repro.isa.program import Program
 from repro.memory.globalmem import GlobalMemory
 from repro.memory.subsystem import MemorySystem
+from repro.simt.backend import get_core_backend
 from repro.simt.core import KernelLaunch, StreamingMultiprocessor
 from repro.utils.errors import SimulationError
 from repro.utils.stats import StatCounters
@@ -67,22 +68,26 @@ class GPU:
         self.config = config
         self.tracker = tracker if tracker is not None else LatencyTracker()
         self.global_memory = GlobalMemory(config.global_memory_bytes)
+        # Core-backend dispatch: the registered backend supplies the SM
+        # factory and decides whether the memory system runs its
+        # straight-line (reference) loop.
+        backend = get_core_backend(config.core_backend)
+        self.core_backend = backend
         self.memory_system = MemorySystem(
             num_sms=config.num_sms,
             mapping=config.mapping,
             icnt_config=config.interconnect,
             partition_config=config.partition,
             tracker=self.tracker,
-            reference_core=config.reference_core,
+            reference_core=backend.reference_memory,
         )
         self.sms: List[StreamingMultiprocessor] = [
-            StreamingMultiprocessor(
+            backend.factory(
                 sm_id=sm_id,
                 config=config.core,
                 memory_system=self.memory_system,
                 global_memory=self.global_memory,
                 tracker=self.tracker,
-                reference_core=config.reference_core,
             )
             for sm_id in range(config.num_sms)
         ]

@@ -147,6 +147,15 @@ class Interconnect:
         """Whether a delivered packet is waiting at ``destination``."""
         return bool(self._outputs[destination])
 
+    def output_raw(self, destination: int):
+        """Raw (read-only) output deque at ``destination``.
+
+        For hot paths that poll delivery every cycle; testing the deque's
+        truthiness is equivalent to :meth:`has_output` without the method
+        and queue-object indirection.
+        """
+        return self._outputs[destination].raw()
+
     def peek(self, destination: int) -> Optional[object]:
         """Oldest delivered packet waiting at ``destination``, if any."""
         return self._outputs[destination].peek()

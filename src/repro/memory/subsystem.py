@@ -79,6 +79,14 @@ class MemorySystem:
         self.stats = StatCounters(prefix="memsys")
         self.reference_core = reference_core
         self._wake: float = 0
+        # Cached next_event_time enumeration.  Unlike ``_wake`` (the
+        # body-skip guard, deliberately conservative-early after an
+        # injection) this must match a fresh enumeration exactly, so it
+        # is invalidated whenever state changes outside the body: an SM
+        # popping a response (true next event moves later) or injecting
+        # a request (its arrival becomes a new, possibly earlier event).
+        self._next: float = 0
+        self._next_stale = True
 
     # ------------------------------------------------------------------
     # SM-facing interface
@@ -103,6 +111,7 @@ class MemorySystem:
         self.stats.add("requests_injected")
         if now + 1 < self._wake:
             self._wake = now + 1
+        self._next_stale = True
         return True
 
     def pop_response(self, sm_id: int) -> Optional[MemoryRequest]:
@@ -110,11 +119,21 @@ class MemorySystem:
         response = self.reply_network.pop(sm_id)
         if response is not None:
             self.stats.add("responses_delivered")
+            self._next_stale = True
         return response
 
     def has_response(self, sm_id: int) -> bool:
         """Whether a response for ``sm_id`` is waiting to be popped."""
         return self.reply_network.has_output(sm_id)
+
+    def response_entries(self, sm_id: int):
+        """Raw (read-only) view of ``sm_id``'s delivered-response queue.
+
+        Equivalent to polling :meth:`has_response` but without any method
+        indirection; cores that gate their per-cycle body on quiescence
+        cache this deque and test its truthiness every skipped cycle.
+        """
+        return self.reply_network.output_raw(sm_id)
 
     # ------------------------------------------------------------------
     # Per-cycle processing
@@ -155,6 +174,8 @@ class MemorySystem:
         self.reply_network.cycle(now)
         if not self.reference_core:
             self._wake = self._compute_wake(now)
+            self._next = self._wake
+            self._next_stale = False
 
     def _compute_wake(self, now: int) -> float:
         """Earliest future cycle the body must run again (inf when idle).
@@ -191,8 +212,23 @@ class MemorySystem:
         )
 
     def next_event_time(self, now: int) -> Optional[int]:
-        """Earliest future cycle at which the memory system needs attention."""
-        wake = self._compute_wake(now)
+        """Earliest future cycle at which the memory system needs attention.
+
+        In fast mode the enumeration computed at the last body run is
+        reused while it is still in the future and no SM has popped a
+        response or injected a request since (both invalidate):
+        component event times only change inside the body, so the cached
+        minimum is the value a fresh enumeration would produce.  The
+        reference path always re-enumerates.
+        """
+        if (not self.reference_core and not self._next_stale
+                and self._next > now):
+            wake = self._next
+        else:
+            wake = self._compute_wake(now)
+            if not self.reference_core:
+                self._next = wake
+                self._next_stale = False
         return None if wake == _NEVER else int(wake)
 
     def collect_stats(self) -> StatCounters:

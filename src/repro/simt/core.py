@@ -1,4 +1,4 @@
-"""Streaming multiprocessor (SM) model.
+"""Streaming multiprocessor (SM) model and the built-in core backends.
 
 The SM is execution driven: when an instruction issues, its functional
 effect (register updates, memory address computation, value load/store) is
@@ -9,6 +9,22 @@ hierarchy behind it — decides when dependent instructions may issue.
 The SM also feeds the latency instrumentation: every cycle in which at
 least one instruction issues is reported to the tracker, which is the raw
 data behind the paper's exposed/hidden latency analysis (Figure 2).
+
+Core backends
+-------------
+
+:class:`StreamingMultiprocessor` is both the shared machinery (CTA
+placement, functional execution, the LD/ST unit, stats) and the trusted
+**reference** per-cycle engine: scan every warp, tick every component,
+every cycle.  Alternative engines subclass it and override the per-cycle
+hooks (:meth:`cycle`, :meth:`_issue_stage`, :meth:`_wake_warp`, ...);
+they are registered by name through :mod:`repro.simt.backend` so
+``GPUConfig.core_backend`` / ``Session(core=...)`` / ``repro --core``
+can select them.  This module registers ``reference``
+(:class:`ReferenceCore`) and ``fast`` (:class:`FastCore`, the PR 3
+event-skipping path); :mod:`repro.simt.vector` adds ``vector`` and
+``estimator``.  See :mod:`repro.simt.backend` for the interface contract
+and the parked-warp invariant every event-driven backend must uphold.
 """
 
 from __future__ import annotations
@@ -28,6 +44,7 @@ from repro.isa.program import Program
 from repro.isa import semantics
 from repro.memory.globalmem import GlobalMemory, WORD_SIZE
 from repro.memory.subsystem import MemorySystem
+from repro.simt.backend import CoreBackend, register_core_backend
 from repro.simt.coreconfig import CoreConfig
 from repro.simt.ldst import LoadStoreUnit, LoadToken
 from repro.simt.scheduler import WarpScheduler, create_warp_scheduler
@@ -103,26 +120,32 @@ class CTAContext:
 class StreamingMultiprocessor:
     """One SIMT core: warps, schedulers, ALU/SFU pipelines, LD/ST unit.
 
-    Two issue paths exist with byte-identical results:
+    This base class *is* the trusted reference engine — the original
+    straight-line loop that re-evaluates every warp every cycle — and
+    doubles as the extension surface for the registered core backends
+    (:mod:`repro.simt.backend`).  Event-driven subclasses override the
+    per-cycle drivers (:meth:`cycle`, :meth:`_issue_stage`,
+    :meth:`_release_barriers`, :meth:`_retire_finished_ctas`) and hook
+    the state transitions the base engine reports:
 
-    * the **fast path** (default) keeps one *ready set* per scheduler —
-      warps that might be able to issue — updated only on state
-      transitions (issue, ALU/load completion, barrier release, LD/ST
-      slot free, CTA launch), so a cycle touches candidate warps only
-      instead of scanning every resident warp;
-    * the **reference path** (``reference_core=True``) is the original
-      straight-line loop that re-evaluates every warp every cycle, kept
-      as the trusted baseline for the golden equivalence tests.
+    * :meth:`_wake_warp` — a warp's sticky blocking condition may have
+      cleared (scoreboard release, barrier release, CTA launch);
+    * :meth:`_on_barrier_wait` — a warp just issued ``BAR`` and parked;
+    * :meth:`_on_warp_done` — a warp just retired;
+    * :meth:`_forget_warp` — a retired warp's CTA is leaving the SM.
 
-    A warp leaves the ready set when it is observed blocked on a sticky
-    condition and is re-inserted exactly when that condition can clear:
-    scoreboard hazards clear only on a release for that warp, barrier
-    waits only on the CTA's barrier release, and LD/ST back-pressure only
-    when the LD/ST unit has a free slot again.  Re-insertions are
-    conservative (a woken warp may re-park), which keeps the invariant
-    simple: *any warp outside the ready set and the LD/ST-blocked set is
-    not issuable*.
+    All hooks are no-ops here, so the base engine stays straight-line.
+    Every overriding backend must uphold the **parked-warp invariant**
+    (PR 3): any warp outside its ready/candidate set and LD/ST-blocked
+    set is not issuable, and a parked warp is re-woken no later than the
+    cycle its blocking condition can clear (conservative wakes are fine;
+    missed wakes are deadlocks).
     """
+
+    #: Registered backend name of this engine (class-level metadata).
+    backend_name = "reference"
+    #: Whether this engine is byte-identical to the reference core.
+    exact = True
 
     def __init__(
         self,
@@ -131,14 +154,12 @@ class StreamingMultiprocessor:
         memory_system: MemorySystem,
         global_memory: GlobalMemory,
         tracker: LatencyTracker,
-        reference_core: bool = False,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
         self.memory_system = memory_system
         self.global_memory = global_memory
         self.tracker = tracker
-        self.reference_core = reference_core
         self.schedulers: List[WarpScheduler] = [
             create_warp_scheduler(config.warp_scheduler, index)
             for index in range(config.num_schedulers)
@@ -152,24 +173,20 @@ class StreamingMultiprocessor:
         self._next_local_warp = 0
         self.retired_ctas: List[int] = []
         self.stats = StatCounters(prefix=f"sm{self.sm_id}")
-        # Fast-path state: per-scheduler ready/blocked sets (dicts keyed
-        # by warp_id for ordered, de-duplicated membership), CTAs with a
-        # warp waiting at a barrier, CTAs with a newly retired warp, and
-        # counters replacing O(warps) scans in busy()/can_accept_cta().
         self._num_schedulers = config.num_schedulers
-        self._ready: List[Dict[int, Warp]] = [
-            {} for _ in range(config.num_schedulers)
-        ]
-        self._ldst_blocked: List[Dict[int, Warp]] = [
-            {} for _ in range(config.num_schedulers)
-        ]
-        self._barrier_ctas: Set[int] = set()
+        # CTAs with a newly retired warp: consumed by the event-driven
+        # retirement scans; the base engine clears it as it rescans.
         self._dirty_ctas: Set[int] = set()
         self._live_warps = 0
         self._num_warps = 0
         self._slot_issued = self.stats.slot("instructions_issued")
         self._slot_idle = self.stats.slot("issue_idle_cycles")
         self._slot_active = self.stats.slot("active_cycles")
+
+    @property
+    def reference_core(self) -> bool:
+        """Whether this SM runs the reference engine (legacy introspection)."""
+        return self.backend_name == "reference"
 
     # ------------------------------------------------------------------
     # CTA management
@@ -228,59 +245,53 @@ class StreamingMultiprocessor:
         self._live_warps += len(warps)
         for warp in warps:
             self._warp_cta[warp.warp_id] = context
-            if not self.reference_core:
-                self._wake_warp(warp)
+            self._wake_warp(warp)
         self.stats.add("ctas_launched")
 
     def _retire_finished_ctas(self) -> None:
-        if self.reference_core:
-            finished = [cta_id for cta_id, cta in self.ctas.items()
-                        if cta.all_done()]
-        else:
-            # A CTA can only have become all-done in a cycle where one of
-            # its warps retired, so checking the dirty set is equivalent
-            # to scanning every resident CTA (both retire in CTA-id
-            # order: CTAs are assigned, and therefore finish dirty-set
-            # membership checks, in ascending id order).
-            if not self._dirty_ctas:
-                return
-            finished = sorted(cta_id for cta_id in self._dirty_ctas
-                              if cta_id in self.ctas
-                              and self.ctas[cta_id].all_done())
+        finished = [cta_id for cta_id, cta in self.ctas.items()
+                    if cta.all_done()]
         self._dirty_ctas.clear()
-        fast = not self.reference_core
+        self._retire_ctas(finished)
+
+    def _retire_ctas(self, finished: List[int]) -> None:
+        """Remove the given all-done CTAs from the SM (shared by backends)."""
         for cta_id in finished:
             context = self.ctas.pop(cta_id)
             self._num_warps -= len(context.warps)
             for warp in context.warps:
                 self._warp_cta.pop(warp.warp_id, None)
-                if fast:
-                    # Drop retired warps (and their register files) from
-                    # the scheduler sets so finished kernels do not pin
-                    # dead warps in memory; done warps are filtered from
-                    # candidates anyway, so this is result-neutral.
-                    scheduler_index = warp.warp_id % self._num_schedulers
-                    self._ready[scheduler_index].pop(warp.warp_id, None)
-                    self._ldst_blocked[scheduler_index].pop(warp.warp_id,
-                                                            None)
+                self._forget_warp(warp)
             self.retired_ctas.append(cta_id)
             self.stats.add("ctas_retired")
 
     # ------------------------------------------------------------------
-    # Per-cycle processing
+    # Backend hooks (no-ops in the reference engine)
+    # ------------------------------------------------------------------
+    def _wake_warp(self, warp: Warp) -> None:
+        """Hook: ``warp``'s sticky blocking condition may have cleared."""
+
+    def _on_barrier_wait(self, warp: Warp) -> None:
+        """Hook: ``warp`` just issued ``BAR`` and is parked at the barrier."""
+
+    def _on_warp_done(self, warp: Warp) -> None:
+        """Hook: ``warp`` just retired (``EXIT`` of its last lanes)."""
+
+    def _forget_warp(self, warp: Warp) -> None:
+        """Hook: retired ``warp``'s CTA is being removed from the SM."""
+
+    # ------------------------------------------------------------------
+    # Per-cycle processing (reference engine; subclasses override)
     # ------------------------------------------------------------------
     def cycle(self, now: int) -> bool:
-        """Advance the SM one cycle; returns whether anything issued."""
-        if self.reference_core:
-            return self._cycle_reference(now)
-        return self._cycle_fast(now)
+        """Advance the SM one cycle; returns whether anything issued.
 
-    def _cycle_reference(self, now: int) -> bool:
-        """The original straight-line cycle: scan and tick everything."""
+        The reference engine: scan and tick everything, every cycle.
+        """
         self.ldst.process_writebacks(now)
         self._complete_alu(now)
-        self._release_barriers_reference()
-        issued = self._issue_stage_reference(now)
+        self._release_barriers()
+        issued = self._issue_stage(now)
         self.ldst.cycle(now)
         self._retire_finished_ctas()
         if issued:
@@ -288,67 +299,19 @@ class StreamingMultiprocessor:
             self.stats.inc(self._slot_active)
         return issued
 
-    def _cycle_fast(self, now: int) -> bool:
-        """Event-accelerated cycle: only touch components with work.
-
-        Every skipped step is a pure no-op in the reference path when its
-        guarding state is empty (no state change and no stat counters),
-        so per-cycle results are byte-identical to
-        :meth:`_cycle_reference`.
-        """
-        ldst = self.ldst
-        if ldst.has_pending_writebacks():
-            ldst.process_writebacks(now)
-        if self._alu_pipe:
-            self._complete_alu(now)
-        if self._barrier_ctas:
-            self._release_barriers_fast()
-        issued = self._issue_stage_fast(now)
-        if (
-            ldst.instruction_queue
-            or ldst.l1_access_queue
-            or ldst.miss_queue
-            or self.memory_system.has_response(self.sm_id)
-        ):
-            ldst.cycle(now)
-        if self._dirty_ctas:
-            self._retire_finished_ctas()
-        if issued:
-            self.tracker.note_issue_cycle(self.sm_id, now)
-            self.stats.inc(self._slot_active)
-        return issued
-
     def _complete_alu(self, now: int) -> None:
         pipe = self._alu_pipe
-        fast = not self.reference_core
         while pipe and pipe[0][0] <= now:
             _, _, warp, instruction = heapq.heappop(pipe)
             if not warp.done:
                 warp.scoreboard.release(instruction)
-                if fast:
-                    self._wake_warp(warp)
+                self._wake_warp(warp)
 
-    def _release_barriers_reference(self) -> None:
+    def _release_barriers(self) -> None:
         for cta in self.ctas.values():
             if cta.barrier_reached():
                 cta.release_barrier()
                 self.stats.add("barriers_released")
-
-    def _release_barriers_fast(self) -> None:
-        # Only CTAs with at least one warp at a barrier (tracked at BAR
-        # issue) can release; the reference path reaches the same
-        # conclusion by scanning every CTA.
-        for cta_id in sorted(self._barrier_ctas):
-            cta = self.ctas.get(cta_id)
-            if cta is None:  # pragma: no cover - barrier CTAs cannot retire
-                self._barrier_ctas.discard(cta_id)
-                continue
-            if cta.barrier_reached():
-                cta.release_barrier()
-                self._barrier_ctas.discard(cta_id)
-                self.stats.add("barriers_released")
-                for warp in cta.warps:
-                    self._wake_warp(warp)
 
     def _scheduler_warps(self, scheduler_index: int) -> List[Warp]:
         return [
@@ -357,7 +320,7 @@ class StreamingMultiprocessor:
             if warp.warp_id % self.config.num_schedulers == scheduler_index
         ]
 
-    def _issue_stage_reference(self, now: int) -> bool:
+    def _issue_stage(self, now: int) -> bool:
         issued_any = False
         for scheduler in self.schedulers:
             candidates = [
@@ -377,93 +340,11 @@ class StreamingMultiprocessor:
             self.stats.inc(self._slot_issued)
         return issued_any
 
-    def _issue_stage_fast(self, now: int) -> bool:
-        if not any(self._ready) and (
-            not any(self._ldst_blocked) or not self.ldst.can_accept()
-        ):
-            # No scheduler has a candidate; account the per-scheduler
-            # idle cycles in one shot (same counter totals as the loop).
-            self.stats.inc(self._slot_idle, self._num_schedulers)
-            return False
-        issued_any = False
-        stats = self.stats
-        ldst = self.ldst
-        for scheduler in self.schedulers:
-            index = scheduler.scheduler_id
-            blocked = self._ldst_blocked[index]
-            if blocked and ldst.can_accept():
-                self._ready[index].update(blocked)
-                blocked.clear()
-            candidates = (
-                self._collect_candidates(index) if self._ready[index] else []
-            )
-            # scheduler.select is pure for empty candidate lists, so it
-            # is only consulted when there is something to pick from.
-            warp = scheduler.select(candidates, now) if candidates else None
-            if warp is None:
-                stats.inc(self._slot_idle)
-                continue
-            self._issue(warp, now)
-            scheduler.notify_issue(warp, now)
-            warp.last_issue_cycle = now
-            warp.instructions_issued += 1
-            issued_any = True
-            stats.inc(self._slot_issued)
-        return issued_any
-
-    def _collect_candidates(self, index: int) -> List[Warp]:
-        """Evaluate the scheduler's ready set, parking blocked warps.
-
-        Mirrors :meth:`_warp_ready` (same checks, same order, same
-        ``finish()`` side effect) but records *why* a warp is not ready
-        so it can leave the ready set until the blocking condition can
-        change.
-        """
-        ready = self._ready[index]
-        blocked = self._ldst_blocked[index]
-        ldst = self.ldst
-        candidates: List[Warp] = []
-        parked: List[int] = []
-        for warp_id, warp in ready.items():
-            if warp.done or warp.at_barrier:
-                parked.append(warp_id)
-                continue
-            instruction = warp.next_instruction()
-            if instruction is None:
-                warp.finish()
-                self._note_warp_done(warp)
-                parked.append(warp_id)
-                continue
-            if warp.scoreboard.has_hazard(instruction):
-                # Re-inserted by _wake_warp on a scoreboard release.
-                parked.append(warp_id)
-                continue
-            if instruction.is_memory and not ldst.can_accept():
-                # Re-inserted when the LD/ST unit has a free slot.
-                blocked[warp_id] = warp
-                parked.append(warp_id)
-                continue
-            candidates.append(warp)
-        for warp_id in parked:
-            del ready[warp_id]
-        if len(candidates) > 1:
-            # Reference candidate order is ascending warp_id (resident
-            # warps are stored in launch order).
-            candidates.sort(key=lambda warp: warp.warp_id)
-        return candidates
-
-    def _wake_warp(self, warp: Warp) -> None:
-        """(Re-)insert a warp into its scheduler's ready set."""
-        if not warp.done:
-            self._ready[warp.warp_id % self._num_schedulers][warp.warp_id] = warp
-
     def _note_warp_done(self, warp: Warp) -> None:
-        """Bookkeeping for a warp that just retired (in either mode)."""
+        """Bookkeeping for a warp that just retired (all backends)."""
         self._live_warps -= 1
         self._dirty_ctas.add(warp.cta_id)
-        if not self.reference_core:
-            self._ldst_blocked[warp.warp_id % self._num_schedulers].pop(
-                warp.warp_id, None)
+        self._on_warp_done(warp)
 
     def _warp_ready(self, warp: Warp) -> bool:
         if warp.done or warp.at_barrier:
@@ -547,8 +428,7 @@ class StreamingMultiprocessor:
             return
         if opcode is Opcode.BAR:
             warp.at_barrier = True
-            if not self.reference_core:
-                self._barrier_ctas.add(warp.cta_id)
+            self._on_barrier_wait(warp)
             warp.stack.advance(instruction.pc + 1)
             return
         if opcode is Opcode.NOP:
@@ -672,8 +552,7 @@ class StreamingMultiprocessor:
     def _on_load_complete(self, token: LoadToken, cycle: int) -> None:
         if not token.warp.done:
             token.warp.scoreboard.release(token.instruction)
-            if not self.reference_core:
-                self._wake_warp(token.warp)
+            self._wake_warp(token.warp)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -700,3 +579,230 @@ class StreamingMultiprocessor:
         combined.merge(self.stats.as_dict())
         combined.merge(self.ldst.collect_stats().as_dict())
         return combined
+
+
+class ReferenceCore(StreamingMultiprocessor):
+    """The trusted straight-line engine, registered as ``reference``.
+
+    Identical to the base class; the subclass exists so the registry has
+    a concrete named factory and so ``isinstance`` checks can tell the
+    trusted baseline apart from backends that merely inherit from it.
+    """
+
+    backend_name = "reference"
+
+
+class FastCore(StreamingMultiprocessor):
+    """Event-skipping engine (PR 3), registered as ``fast``.
+
+    Keeps one *ready set* per scheduler — warps that might be able to
+    issue — updated only on state transitions (issue, ALU/load
+    completion, barrier release, LD/ST slot free, CTA launch), so a
+    cycle touches candidate warps only instead of scanning every
+    resident warp.  Results are byte-identical to the reference engine
+    (pinned by the golden-equivalence suite).
+
+    A warp leaves the ready set when it is observed blocked on a sticky
+    condition and is re-inserted exactly when that condition can clear:
+    scoreboard hazards clear only on a release for that warp, barrier
+    waits only on the CTA's barrier release, and LD/ST back-pressure only
+    when the LD/ST unit has a free slot again.  Re-insertions are
+    conservative (a woken warp may re-park), which keeps the invariant
+    simple: *any warp outside the ready set and the LD/ST-blocked set is
+    not issuable*.
+    """
+
+    backend_name = "fast"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Per-scheduler ready/blocked sets (dicts keyed by warp_id for
+        # ordered, de-duplicated membership) and the CTAs with a warp
+        # waiting at a barrier, tracked at BAR issue.
+        self._ready: List[Dict[int, Warp]] = [
+            {} for _ in range(self._num_schedulers)
+        ]
+        self._ldst_blocked: List[Dict[int, Warp]] = [
+            {} for _ in range(self._num_schedulers)
+        ]
+        self._barrier_ctas: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Hook implementations
+    # ------------------------------------------------------------------
+    def _wake_warp(self, warp: Warp) -> None:
+        """(Re-)insert a warp into its scheduler's ready set."""
+        if not warp.done:
+            self._ready[warp.warp_id % self._num_schedulers][warp.warp_id] = warp
+
+    def _on_barrier_wait(self, warp: Warp) -> None:
+        self._barrier_ctas.add(warp.cta_id)
+
+    def _on_warp_done(self, warp: Warp) -> None:
+        self._ldst_blocked[warp.warp_id % self._num_schedulers].pop(
+            warp.warp_id, None)
+
+    def _forget_warp(self, warp: Warp) -> None:
+        # Drop retired warps (and their register files) from the
+        # scheduler sets so finished kernels do not pin dead warps in
+        # memory; done warps are filtered from candidates anyway, so
+        # this is result-neutral.
+        scheduler_index = warp.warp_id % self._num_schedulers
+        self._ready[scheduler_index].pop(warp.warp_id, None)
+        self._ldst_blocked[scheduler_index].pop(warp.warp_id, None)
+
+    # ------------------------------------------------------------------
+    # Per-cycle processing
+    # ------------------------------------------------------------------
+    def cycle(self, now: int) -> bool:
+        """Event-accelerated cycle: only touch components with work.
+
+        Every skipped step is a pure no-op in the reference path when its
+        guarding state is empty (no state change and no stat counters),
+        so per-cycle results are byte-identical to the reference engine's
+        :meth:`StreamingMultiprocessor.cycle`.
+        """
+        ldst = self.ldst
+        if ldst.has_pending_writebacks():
+            ldst.process_writebacks(now)
+        if self._alu_pipe:
+            self._complete_alu(now)
+        if self._barrier_ctas:
+            self._release_barriers()
+        issued = self._issue_stage(now)
+        if (
+            ldst.instruction_queue
+            or ldst.l1_access_queue
+            or ldst.miss_queue
+            or self.memory_system.has_response(self.sm_id)
+        ):
+            ldst.cycle(now)
+        if self._dirty_ctas:
+            self._retire_finished_ctas()
+        if issued:
+            self.tracker.note_issue_cycle(self.sm_id, now)
+            self.stats.inc(self._slot_active)
+        return issued
+
+    def _release_barriers(self) -> None:
+        # Only CTAs with at least one warp at a barrier (tracked at BAR
+        # issue) can release; the reference path reaches the same
+        # conclusion by scanning every CTA.
+        for cta_id in sorted(self._barrier_ctas):
+            cta = self.ctas.get(cta_id)
+            if cta is None:  # pragma: no cover - barrier CTAs cannot retire
+                self._barrier_ctas.discard(cta_id)
+                continue
+            if cta.barrier_reached():
+                cta.release_barrier()
+                self._barrier_ctas.discard(cta_id)
+                self.stats.add("barriers_released")
+                for warp in cta.warps:
+                    self._wake_warp(warp)
+
+    def _retire_finished_ctas(self) -> None:
+        # A CTA can only have become all-done in a cycle where one of
+        # its warps retired, so checking the dirty set is equivalent
+        # to scanning every resident CTA (both retire in CTA-id
+        # order: CTAs are assigned, and therefore finish dirty-set
+        # membership checks, in ascending id order).
+        if not self._dirty_ctas:
+            return
+        finished = sorted(cta_id for cta_id in self._dirty_ctas
+                          if cta_id in self.ctas
+                          and self.ctas[cta_id].all_done())
+        self._dirty_ctas.clear()
+        self._retire_ctas(finished)
+
+    def _issue_stage(self, now: int) -> bool:
+        if not any(self._ready) and (
+            not any(self._ldst_blocked) or not self.ldst.can_accept()
+        ):
+            # No scheduler has a candidate; account the per-scheduler
+            # idle cycles in one shot (same counter totals as the loop).
+            self.stats.inc(self._slot_idle, self._num_schedulers)
+            return False
+        issued_any = False
+        stats = self.stats
+        ldst = self.ldst
+        for scheduler in self.schedulers:
+            index = scheduler.scheduler_id
+            blocked = self._ldst_blocked[index]
+            if blocked and ldst.can_accept():
+                self._ready[index].update(blocked)
+                blocked.clear()
+            candidates = (
+                self._collect_candidates(index) if self._ready[index] else []
+            )
+            # scheduler.select is pure for empty candidate lists, so it
+            # is only consulted when there is something to pick from.
+            warp = scheduler.select(candidates, now) if candidates else None
+            if warp is None:
+                stats.inc(self._slot_idle)
+                continue
+            self._issue(warp, now)
+            scheduler.notify_issue(warp, now)
+            warp.last_issue_cycle = now
+            warp.instructions_issued += 1
+            issued_any = True
+            stats.inc(self._slot_issued)
+        return issued_any
+
+    def _collect_candidates(self, index: int) -> List[Warp]:
+        """Evaluate the scheduler's ready set, parking blocked warps.
+
+        Mirrors :meth:`StreamingMultiprocessor._warp_ready` (same checks,
+        same order, same ``finish()`` side effect) but records *why* a
+        warp is not ready so it can leave the ready set until the
+        blocking condition can change.
+        """
+        ready = self._ready[index]
+        blocked = self._ldst_blocked[index]
+        ldst = self.ldst
+        candidates: List[Warp] = []
+        parked: List[int] = []
+        for warp_id, warp in ready.items():
+            if warp.done or warp.at_barrier:
+                parked.append(warp_id)
+                continue
+            instruction = warp.next_instruction()
+            if instruction is None:
+                warp.finish()
+                self._note_warp_done(warp)
+                parked.append(warp_id)
+                continue
+            if warp.scoreboard.has_hazard(instruction):
+                # Re-inserted by _wake_warp on a scoreboard release.
+                parked.append(warp_id)
+                continue
+            if instruction.is_memory and not ldst.can_accept():
+                # Re-inserted when the LD/ST unit has a free slot.
+                blocked[warp_id] = warp
+                parked.append(warp_id)
+                continue
+            candidates.append(warp)
+        for warp_id in parked:
+            del ready[warp_id]
+        if len(candidates) > 1:
+            # Reference candidate order is ascending warp_id (resident
+            # warps are stored in launch order).
+            candidates.sort(key=lambda warp: warp.warp_id)
+        return candidates
+
+
+register_core_backend(CoreBackend(
+    name="reference",
+    factory=ReferenceCore,
+    exact=True,
+    reference_memory=True,
+    description=("trusted straight-line loop: scan every warp, tick every "
+                 "component, every cycle (golden baseline)"),
+))
+
+register_core_backend(CoreBackend(
+    name="fast",
+    factory=FastCore,
+    exact=True,
+    description=("event-skipping ready-set core (default); byte-identical "
+                 "to reference"),
+))

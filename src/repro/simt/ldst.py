@@ -134,6 +134,18 @@ class LoadStoreUnit:
         self._sequence = itertools.count()
         self.on_load_complete: Optional[Callable[[LoadToken, int], None]] = None
         self.stats = StatCounters(prefix=f"sm{sm_id}.ldst")
+        # Completion-time granularity (cycles).  1 = exact.  The
+        # estimator backend raises it: every LD/ST completion time is
+        # rounded up to the next quantum boundary, coarsening the event
+        # timeline (approximate, never-early cycle counts).
+        self.time_quantum = 1
+
+    def _stamp(self, time: int) -> int:
+        """``time`` rounded up to the LD/ST time quantum (identity when 1)."""
+        quantum = self.time_quantum
+        if quantum <= 1:
+            return time
+        return -(-time // quantum) * quantum
 
     # ------------------------------------------------------------------
     # Issue-side interface (called by the SM)
@@ -170,7 +182,8 @@ class LoadStoreUnit:
                 token.expected = 1
                 heapq.heappush(
                     self._writebacks,
-                    (now + 1, next(self._sequence), None, token, True),
+                    (self._stamp(now + 1), next(self._sequence), None, token,
+                     True),
                 )
         if instruction.space is MemSpace.SHARED or lines or instruction.is_store:
             self.instruction_queue.append(
@@ -247,7 +260,7 @@ class LoadStoreUnit:
         shared fill returns.  Requests that merged at the L2 return as their
         own responses and are therefore *not* completed from this path.
         """
-        writeback_time = now + self.config.writeback_latency
+        writeback_time = self._stamp(now + self.config.writeback_latency)
         waiters: List[MemoryRequest] = [response]
         caches = self._l1_caches_space(response.space)
         if caches and self.l1 is not None:
@@ -298,7 +311,8 @@ class LoadStoreUnit:
             request.l1_hit = True
             heapq.heappush(
                 self._writebacks,
-                (now + self.config.l1.hit_latency + self.config.writeback_latency,
+                (self._stamp(now + self.config.l1.hit_latency
+                             + self.config.writeback_latency),
                  next(self._sequence), request, request.load_token, True),
             )
             return
@@ -368,7 +382,7 @@ class LoadStoreUnit:
         )
         self.tracker.record_event(request, Event.ISSUE, now)
         self.l1_access_queue.append(
-            (now + self.config.sm_base_latency, request)
+            (self._stamp(now + self.config.sm_base_latency), request)
         )
         if pending.exhausted:
             self.instruction_queue.popleft()
@@ -387,7 +401,7 @@ class LoadStoreUnit:
         self.stats.add("shared_accesses")
         self.stats.add("shared_bank_conflict_cycles", extra)
         if pending.token is not None:
-            complete = now + self.config.shared_latency + extra
+            complete = self._stamp(now + self.config.shared_latency + extra)
             heapq.heappush(
                 self._writebacks,
                 (complete, next(self._sequence), None, pending.token, True),

@@ -47,6 +47,11 @@ class LooseRoundRobinScheduler(WarpScheduler):
         super().__init__(scheduler_id)
         self._last_warp_id: Optional[int] = None
 
+    @property
+    def last_issued_warp_id(self) -> Optional[int]:
+        """Warp id of the last issuer (the vector core replays the policy)."""
+        return self._last_warp_id
+
     def select(self, ready_warps: Sequence[Warp], now: int) -> Optional[Warp]:
         if not ready_warps:
             return None
@@ -70,6 +75,11 @@ class GreedyThenOldestScheduler(WarpScheduler):
     def __init__(self, scheduler_id: int) -> None:
         super().__init__(scheduler_id)
         self._greedy_warp_id: Optional[int] = None
+
+    @property
+    def greedy_warp_id(self) -> Optional[int]:
+        """Warp id the policy is greedy on (the vector core replays it)."""
+        return self._greedy_warp_id
 
     def select(self, ready_warps: Sequence[Warp], now: int) -> Optional[Warp]:
         if not ready_warps:

@@ -15,10 +15,11 @@ change:
     :class:`~repro.gpu.config.GPUConfig` objects — what the config names
     meant when the result was produced.  Session-local configs can bind
     the same name to different hardware, so the names alone (already in
-    the spec) are not identity.  ``reference_core`` is normalized out:
-    the two simulation cores are byte-identical by contract (pinned by
-    the golden equivalence tests), so either may serve the other's
-    stored results.
+    the spec) are not identity.  Exact core backends (``reference``,
+    ``fast``, ``vector`` — byte-identical by contract, pinned by the
+    golden equivalence tests) are normalized to one name so any of them
+    may serve the others' stored results; approximate backends
+    (``estimator``) keep their name and are keyed separately.
 ``code_version``
     :func:`~repro.store.version.code_version` — the simulator source
     fingerprint; any change to simulator-relevant code invalidates every
@@ -82,15 +83,27 @@ def config_fingerprint(configs: Iterable[Any]) -> str:
 
     The configurations are frozen dataclasses of frozen dataclasses, so
     their ``repr`` is a deterministic, complete rendering of every
-    parameter.  ``reference_core`` is normalized to ``False`` before
-    hashing because the reference and fast-path cores produce
-    byte-identical results by contract — a store populated by one must
-    serve the other.
+    parameter.  The ``core_backend`` name is canonicalized to ``"fast"``
+    for backends registered as *exact* (``reference``, ``fast``,
+    ``vector``): those produce byte-identical results by contract —
+    pinned by the golden equivalence tests — so a store populated by one
+    must serve the others.  Backends that are **not** proven
+    byte-identical (``estimator``, or any name this process does not
+    know) keep their name, so their results are keyed separately and are
+    never served for an exact-core request.  The legacy
+    ``reference_core`` boolean is normalized to ``False`` for the same
+    reason (it only ever selected between two exact cores).
     """
+    from repro.simt.backend import core_backend_is_exact
+
     digest = hashlib.sha256()
     for config in configs:
         if getattr(config, "reference_core", False):
             config = config.replace(reference_core=False)
+        backend = getattr(config, "core_backend", None)
+        if (backend is not None and backend != "fast"
+                and core_backend_is_exact(backend)):
+            config = config.replace(core_backend="fast")
         digest.update(repr(config).encode("utf-8"))
         digest.update(b"\0")
     return digest.hexdigest()[:16]

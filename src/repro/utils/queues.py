@@ -48,6 +48,14 @@ class BoundedQueue(Generic[T]):
     def __bool__(self) -> bool:
         return bool(self._entries)
 
+    def raw(self) -> Deque[T]:
+        """The underlying deque, for hot paths that poll emptiness every cycle.
+
+        Callers must treat the returned deque as read-only; it stays
+        identical to this queue's contents for the queue's lifetime.
+        """
+        return self._entries
+
     @property
     def unbounded(self) -> bool:
         """Whether this queue has no capacity limit."""

@@ -211,4 +211,5 @@ class TestAtlasCLI:
         assert main(["smoke", "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["total_runs"] == (report["workload_count"]
-                                        * report["config_count"])
+                                        * report["config_count"]
+                                        * report["core_count"])

@@ -136,6 +136,86 @@ class TestCommands:
         assert main(["run", "/nonexistent/spec.json"]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_cores_lists_registered_backends(self, capsys):
+        assert main(["cores"]) == 0
+        output = capsys.readouterr().out
+        for name in ("reference", "fast", "vector", "estimator"):
+            assert name in output
+        assert "exact" in output
+
+    def test_core_flag_on_all_experiment_subcommands(self):
+        parser = build_parser()
+        for argv in (["table1"], ["sweep"], ["dynamic"],
+                     ["run", "spec.json"], ["sensitivity"], ["microbench"],
+                     ["atlas"], ["smoke"]):
+            args = parser.parse_args(argv + ["--core", "vector"])
+            assert args.core == "vector"
+
+    def test_core_flag_selects_backend(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--param", "n=128", "--buckets", "8", "--core", "vector",
+        ]) == 0
+        assert "vecadd" in capsys.readouterr().out
+
+    def test_unknown_core_rejected(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--core", "warpdrive",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "warpdrive" in err
+
+    def test_reference_core_flag_deprecated_alias(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--param", "n=96", "--buckets", "4", "--reference-core",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "--core reference" in captured.err
+
+    def test_reference_core_conflicting_core_rejected(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--core", "vector", "--reference-core",
+        ]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+
+class TestSmokeCoreMatrix:
+    def test_smoke_report_counts_cores(self, capsys, monkeypatch):
+        from repro.experiments import smoke as smoke_module
+
+        monkeypatch.setattr(smoke_module, "SMOKE_PARAMS",
+                            {"vecadd": {"n": 96, "block_dim": 64}})
+        monkeypatch.setattr(smoke_module, "check_registry_coverage",
+                            lambda: None)
+        assert main(["smoke", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cores"] == ["fast", "vector"]
+        assert report["core_count"] == 2
+        assert report["total_runs"] == (report["workload_count"]
+                                        * report["config_count"]
+                                        * report["core_count"])
+        assert report["all_verified"] is True
+        for core in report["cores"]:
+            assert any(run["core"] == core for run in report["runs"])
+
+    def test_smoke_with_explicit_core_runs_single_pass(self, capsys,
+                                                       monkeypatch):
+        from repro.experiments import smoke as smoke_module
+
+        monkeypatch.setattr(smoke_module, "SMOKE_PARAMS",
+                            {"vecadd": {"n": 96, "block_dim": 64}})
+        monkeypatch.setattr(smoke_module, "check_registry_coverage",
+                            lambda: None)
+        assert main(["smoke", "--json", "--core", "vector"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cores"] == ["vector"]
+        assert report["core_count"] == 1
+        assert report["all_verified"] is True
+
     def test_dynamic_output_roundtrips(self, tmp_path, capsys):
         from repro.experiments import RunSet
 

@@ -330,7 +330,8 @@ class TestSmoke:
         assert report["workload_count"] == len(available_workloads())
         assert report["config_count"] == len(available_configs())
         assert report["total_runs"] == (report["workload_count"]
-                                        * report["config_count"])
+                                        * report["config_count"]
+                                        * report["core_count"])
         assert report["all_verified"]
         assert all(run["cycles"] > 0 for run in report["runs"])
         # JSON-native end to end.
