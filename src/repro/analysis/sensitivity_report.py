@@ -76,9 +76,12 @@ def tolerance_chart(curve: SensitivityCurve, width: int = 50) -> str:
 def format_sensitivity_report(result: SensitivityResult) -> str:
     """Render a complete study result: per-curve tables, charts, metrics."""
     study = result.study
+    neighbor = study.get("neighbor")
+    colocated = (f", co-located with {neighbor['workload']} on stream "
+                 f"{neighbor['stream']}" if neighbor else "")
     sections: List[str] = [
         f"Latency-sensitivity study: {study.get('workload')} on "
-        f"{study.get('config')!r} "
+        f"{study.get('config')!r}{colocated} "
         f"(nominal unloaded DRAM round trip: "
         f"{result.base_nominal_latency} cycles)"
     ]

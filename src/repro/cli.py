@@ -38,6 +38,13 @@ benchmarks all exercise the same code path.
     The 2-D latency-tolerance atlas: sweep one microbench axis
     (``--axis ilp=1,2,4,8``) against one transform axis across scale
     factors, and report per-row tolerance metrics in one table.
+``repro scenario``
+    Run several kernels **concurrently** on one GPU: each positional
+    token is ``workload[:key=value,...]`` with the special keys
+    ``stream=N`` (launches on the same stream serialize, streams overlap)
+    and ``sm_mask=0+1`` (pin the kernel to an SM partition).  Prints the
+    per-kernel attribution table — cycles, instructions, and overlap —
+    plus the whole-device totals the per-kernel stats sum back to.
 ``repro smoke``
     Run a tiny verified experiment for **every** registered workload x
     configuration pair; ``--json`` emits the machine-readable report
@@ -94,6 +101,8 @@ from repro.experiments import (
     RunSet,
     Session,
     parse_param_tokens,
+    parse_scenario_kernel_token,
+    run_scenario_smoke,
     run_smoke,
 )
 from repro.gpu import available_configs, get_config
@@ -193,11 +202,49 @@ def _print_dynamic(record: RunRecord) -> None:
     print(exposure_chart(figure2, width=50))
 
 
+def _print_scenario(record: RunRecord) -> None:
+    spec = record.experiment
+    kernels = spec["params"]["kernels"]
+    payload = record.payload
+    rows = []
+    for entry, launch in zip(kernels, record.launches):
+        mask = entry.get("sm_mask")
+        rows.append([
+            str(launch["launch_id"]),
+            launch["kernel"],
+            str(launch["stream"]),
+            "+".join(str(sm) for sm in mask) if mask else "all",
+            str(launch["cycles"]),
+            str(launch["instructions"]),
+            str(launch["overlap_cycles"]),
+        ])
+    print(format_table(
+        ["id", "kernel", "stream", "SMs", "cycles", "instructions",
+         "overlap"],
+        rows,
+        title=f"Scenario on {spec['configs'][0]!r}: "
+              f"{len(kernels)} concurrent kernel(s)",
+    ))
+    print()
+    print(f"wall cycles: {record.total_cycles}  "
+          f"(sum of kernel windows: {payload['sum_kernel_cycles']})")
+    if payload.get("core"):
+        print(f"core: {payload['core']} (estimated cycle counts)")
+    unattributed = payload.get("unattributed", {})
+    attributed = sum(sum(launch["stats"].values())
+                     for launch in record.launches)
+    print(f"attribution: {attributed} attributed counter increments, "
+          f"{len(unattributed)} residual device counter(s) "
+          f"(memory-system internals + idle cycles)")
+
+
 def _print_record(record: RunRecord, args: argparse.Namespace) -> None:
     if record.kind == "static":
         _print_static(record)
     elif record.kind == "sweep":
         _print_sweep(record, args)
+    elif record.kind == "scenario":
+        _print_scenario(record)
     else:
         _print_dynamic(record)
 
@@ -310,6 +357,8 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         transforms=tuple(args.transform or ["scale_dram_latency"]),
         scales=tuple(_parse_scales(args.scales)),
         params=parse_param_tokens(args.param or []),
+        neighbor=(parse_scenario_kernel_token(args.neighbor)
+                  if args.neighbor else None),
     )
     progress = _progress_callback(args)
     result = study.run(session=args.session, jobs=args.jobs,
@@ -365,6 +414,8 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
         scales=tuple(_parse_scales(args.scales)),
         workload=args.workload,
         params=parse_param_tokens(args.param or []),
+        neighbor=(parse_scenario_kernel_token(args.neighbor)
+                  if args.neighbor else None),
     )
     progress = _progress_callback(args)
     result = atlas.run(session=args.session, jobs=args.jobs,
@@ -376,9 +427,28 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    kernels = [parse_scenario_kernel_token(token) for token in args.kernels]
+    experiment = Experiment.scenario(args.config, kernels,
+                                     verify=not args.no_verify)
+    record = args.session.run(experiment)
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(record.summary())
+        print()
+        _print_scenario(record)
+    _write_output(args, [record])
+    return 0
+
+
 def _cmd_smoke(args: argparse.Namespace) -> int:
     progress = _progress_callback(args)
-    report = run_smoke(args.session, jobs=args.jobs, progress=progress)
+    if args.scenarios:
+        report = run_scenario_smoke(args.session, jobs=args.jobs,
+                                    progress=progress)
+    else:
+        report = run_smoke(args.session, jobs=args.jobs, progress=progress)
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         atomic_write_text(args.output, text + "\n")
@@ -386,6 +456,25 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     if args.json:
         print(text)
         return 0
+    if args.scenarios:
+        rows = [[run["mode"], run["core"], kernel["workload"],
+                 str(kernel["stream"]),
+                 ("+".join(str(sm) for sm in kernel["sm_mask"])
+                  if kernel["sm_mask"] else "all"),
+                 str(kernel["cycles"]), str(kernel["instructions"]),
+                 str(kernel["overlap_cycles"]),
+                 "yes" if run["attribution_exact"] else "NO"]
+                for run in report["runs"] for kernel in run["kernels"]]
+        print(format_table(
+            ["mode", "core", "kernel", "stream", "SMs", "cycles",
+             "instructions", "overlap", "exact"],
+            rows,
+            title=f"Scenario smoke on {report['config']!r}: "
+                  f"{report['scenario_count']} scenario(s) x "
+                  f"{report['core_count']} core(s)",
+        ))
+        ok = report["all_verified"] and report["all_attributed"]
+        return 0 if ok else 1
     rows = [[run["workload"], run["config"], run["core"],
              str(run["cycles"]), str(run["instructions"]),
              "yes" if run["verified"] else "NO"]
@@ -448,6 +537,20 @@ def _cmd_transforms(args: argparse.Namespace) -> int:
 
 
 def _cmd_cores(args: argparse.Namespace) -> int:
+    if args.json:
+        report = {
+            "cores": [
+                {
+                    "name": name,
+                    "exact": CORE_BACKENDS.get(name).exact,
+                    "description": CORE_BACKENDS.describe(name),
+                }
+                for name in available_core_backends()
+            ],
+            "core_count": len(available_core_backends()),
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
     rows = []
     for name in available_core_backends():
         backend = CORE_BACKENDS.get(name)
@@ -564,6 +667,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     cores = subparsers.add_parser(
         "cores", help="list registered simulation-core backends")
+    cores.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable backend list instead of a table")
     cores.set_defaults(func=_cmd_cores)
 
     sensitivity = subparsers.add_parser(
@@ -586,6 +692,12 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument(
         "--param", action="append", metavar="KEY=VALUE",
         help="workload parameter, e.g. --param num_nodes=2048 (repeatable)")
+    sensitivity.add_argument(
+        "--neighbor", metavar="KERNEL",
+        help="co-locate a second kernel at every sweep point (same "
+             "syntax as 'repro scenario' kernels, default stream 1); "
+             "the curve then tracks the primary kernel's attributed "
+             "cycles under contention")
     sensitivity.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes to shard the sweep points across "
@@ -649,6 +761,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload parameter held constant across the grid "
              "(repeatable)")
     atlas.add_argument(
+        "--neighbor", metavar="KERNEL",
+        help="co-locate a second kernel at every grid point (same "
+             "syntax as 'repro scenario' kernels, default stream 1)")
+    atlas.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes to shard the whole 2-D grid across "
              "(default: 1, serial)")
@@ -656,6 +772,31 @@ def build_parser() -> argparse.ArgumentParser:
     add_reference_core_flag(atlas)
     add_store_flag(atlas)
     atlas.set_defaults(func=_cmd_atlas)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="run several kernels concurrently with per-kernel "
+             "attribution")
+    scenario.add_argument(
+        "kernels", nargs="+", metavar="KERNEL",
+        help="kernel spec 'workload[:key=value,...]'; special keys "
+             "stream=N (same stream serializes, streams overlap) and "
+             "sm_mask=0+1 (pin to an SM partition), everything else is "
+             "a workload parameter, e.g. vecadd:n=2048,stream=1")
+    scenario.add_argument(
+        "--config", default="gf106",
+        help="configuration to run on (see 'repro configs')")
+    scenario.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-kernel output verification")
+    scenario.add_argument(
+        "--json", action="store_true",
+        help="emit the full run record as JSON instead of the "
+             "attribution table")
+    scenario.add_argument("--output", help="save the run as a JSON run set")
+    add_reference_core_flag(scenario)
+    add_store_flag(scenario)
+    scenario.set_defaults(func=_cmd_scenario)
 
     smoke = subparsers.add_parser(
         "smoke",
@@ -665,6 +806,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the machine-readable report (what the CI smoke job "
              "asserts against) instead of a table")
+    smoke.add_argument(
+        "--scenarios", action="store_true",
+        help="run the concurrent-kernel scenarios (shared-SM and "
+             "SM-partitioned co-location) instead of the workload x "
+             "configuration matrix")
     smoke.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes to shard the matrix across "

@@ -34,6 +34,7 @@ from repro.experiments.results import (
     breakdown_to_dict,
     exposure_to_dict,
     launch_to_dict,
+    scenario_launch_to_dict,
     sweep_to_dict,
     table_to_dict,
 )
@@ -41,15 +42,19 @@ from repro.experiments.session import Session
 from repro.experiments.smoke import (
     SMOKE_PARAMS,
     check_registry_coverage,
+    run_scenario_smoke,
     run_smoke,
+    scenario_smoke_experiments,
     smoke_experiments,
 )
 from repro.experiments.spec import (
     EXPERIMENT_KINDS,
     Experiment,
     coerce_workload_params,
+    normalize_scenario_kernels,
     parse_param_token,
     parse_param_tokens,
+    parse_scenario_kernel_token,
     workload_param_spec,
 )
 from repro.gpu.configs import CONFIG_REGISTRY, register_config, unregister_config
@@ -76,11 +81,16 @@ __all__ = [
     "default_jobs",
     "exposure_to_dict",
     "launch_to_dict",
+    "normalize_scenario_kernels",
     "parse_param_token",
     "parse_param_tokens",
+    "parse_scenario_kernel_token",
     "register_config",
     "register_workload",
+    "run_scenario_smoke",
     "run_smoke",
+    "scenario_launch_to_dict",
+    "scenario_smoke_experiments",
     "smoke_experiments",
     "sweep_to_dict",
     "table_to_dict",

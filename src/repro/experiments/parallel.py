@@ -155,6 +155,9 @@ class ParallelExecutor:
     core:
         Optional core-backend name propagated into every worker's
         session (see :class:`~repro.experiments.session.Session`).
+        ``core_backend=`` is accepted as an equivalent alias (matching
+        the :class:`GPUConfig` field name); passing both with different
+        values is an error.
     reference_core:
         **Deprecated** alias for ``core="reference"``; emits a
         :class:`DeprecationWarning`.
@@ -164,9 +167,17 @@ class ParallelExecutor:
                  configs: Optional[Mapping[str, GPUConfig]] = None,
                  mp_context: Union[str, Any, None] = None,
                  core: Optional[str] = None,
-                 reference_core: bool = False) -> None:
+                 reference_core: bool = False,
+                 core_backend: Optional[str] = None) -> None:
         if jobs is not None and jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if core_backend is not None:
+            if core is not None and core != core_backend:
+                raise ExperimentError(
+                    f"core={core!r} conflicts with "
+                    f"core_backend={core_backend!r}"
+                )
+            core = core_backend
         if reference_core:
             import warnings
 

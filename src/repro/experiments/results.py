@@ -39,7 +39,14 @@ from repro.utils.errors import ExperimentError
 # Payload serializers: rich analysis objects -> JSON-native dicts
 # ----------------------------------------------------------------------
 def launch_to_dict(result: KernelResult) -> Dict[str, Any]:
-    """Serialize one :class:`KernelResult` (stats are per-launch deltas)."""
+    """Serialize one :class:`KernelResult` (stats are per-launch deltas).
+
+    Deliberately explicit about the keys it emits: single-kernel
+    (``dynamic``) payloads must stay byte-identical across simulator
+    versions, so fields added to :class:`KernelResult` for scenarios
+    (``launch_id``, ``stream``, ``overlap_cycles``) are serialized only
+    by :func:`scenario_launch_to_dict`.
+    """
     return {
         "kernel": result.kernel_name,
         "cycles": result.cycles,
@@ -49,6 +56,21 @@ def launch_to_dict(result: KernelResult) -> Dict[str, Any]:
         "ipc": result.ipc,
         "stats": dict(result.stats),
     }
+
+
+def scenario_launch_to_dict(result: KernelResult) -> Dict[str, Any]:
+    """Serialize one scenario :class:`KernelResult` with its identity.
+
+    Extends :func:`launch_to_dict` with the co-location fields: which
+    launch/stream produced it and how many of its cycles overlapped
+    another kernel's execution window.  Its ``stats`` are the counters
+    attributed to this launch alone, not whole-device deltas.
+    """
+    data = launch_to_dict(result)
+    data["launch_id"] = result.launch_id
+    data["stream"] = result.stream
+    data["overlap_cycles"] = result.overlap_cycles
+    return data
 
 
 def breakdown_to_dict(breakdown: BreakdownResult) -> Dict[str, Any]:
@@ -270,6 +292,12 @@ class RunRecord:
         if self.kind == "dynamic":
             return (f"{head}: {self.total_cycles} cycles over "
                     f"{len(self.launches)} launch(es)")
+        if self.kind == "scenario":
+            kernels = "+".join(launch.get("kernel", "?")
+                               for launch in self.launches)
+            return (f"{head}: {kernels} in {self.total_cycles} "
+                    f"wall cycles ({len(self.launches)} concurrent "
+                    f"launch(es))")
         if self.kind == "sweep":
             levels = self.payload.get("hierarchy", {}).get("levels", [])
             return f"{head}: {len(levels)} hierarchy level(s) detected"

@@ -50,6 +50,7 @@ from repro.experiments.results import (
     launch_to_dict,
     light_artifacts,
     rehydrate_artifacts,
+    scenario_launch_to_dict,
     sweep_to_dict,
     table_to_dict,
 )
@@ -64,6 +65,7 @@ from repro.gpu.config import GPUConfig
 from repro.simt.backend import core_backend_is_exact
 from repro.utils.errors import ExperimentError
 from repro.workloads import create_workload
+from repro.workloads.base import Workload
 
 
 def _param(experiment: Experiment, name: str) -> Any:
@@ -132,7 +134,9 @@ class Session:
         every configuration this session resolves runs on that backend;
         when ``None`` (the default) each configuration's own
         ``core_backend`` field decides.  This is the programmatic face
-        of the CLI's ``--core`` flag.
+        of the CLI's ``--core`` flag.  ``core_backend=`` is accepted as
+        an equivalent alias (matching the :class:`GPUConfig` field
+        name); passing both with different values is an error.
     reference_core:
         **Deprecated** boolean predecessor of ``core``.
         ``Session(reference_core=True)`` still works: it emits a
@@ -154,8 +158,18 @@ class Session:
                  configs: Optional[Mapping[str, GPUConfig]] = None,
                  core: Optional[str] = None,
                  reference_core: bool = False,
-                 store: Union[None, str, os.PathLike, Any] = None) -> None:
+                 store: Union[None, str, os.PathLike, Any] = None,
+                 core_backend: Optional[str] = None) -> None:
         self.cache_enabled = cache
+        if core_backend is not None:
+            # ``core_backend=`` is a first-class alias for ``core=`` so
+            # the Session spelling matches GPUConfig's field name.
+            if core is not None and core != core_backend:
+                raise ExperimentError(
+                    f"core={core!r} conflicts with "
+                    f"core_backend={core_backend!r}"
+                )
+            core = core_backend
         if reference_core:
             import warnings
 
@@ -256,6 +270,7 @@ class Session:
             "static": self._run_static,
             "sweep": self._run_sweep,
             "dynamic": self._run_dynamic,
+            "scenario": self._run_scenario,
         }[experiment.kind]
         record = runner(experiment)
         self.simulated_runs += 1
@@ -592,5 +607,98 @@ class Session:
                 "results": results,
                 "breakdown": breakdown,
                 "exposure": exposure,
+            },
+        )
+
+    def _run_scenario(self, experiment: Experiment) -> RunRecord:
+        """Run several kernels concurrently on one GPU with attribution.
+
+        All workloads are instantiated and prepared (inputs allocated
+        and uploaded) first, then every kernel is submitted to its
+        stream/SM partition and the device runs until idle.  Each
+        launch's record carries its *attributed* stats; the payload
+        additionally holds the whole-device delta and the unattributed
+        residual, so ``sum(per-kernel) + unattributed == device delta``
+        holds key-for-key — the invariant the scenario tests pin.
+        """
+        config = self.resolve_config(experiment.configs[0])
+        kernels = experiment.params["kernels"]
+        verify = experiment.params.get(
+            "verify", KIND_PARAMS["scenario"]["verify"][1])
+        gpu = GPU(config)
+        workloads = []
+        for entry in kernels:
+            kwargs = coerce_workload_params(entry["workload"],
+                                            entry.get("params") or {})
+            workload = create_workload(entry["workload"], **kwargs)
+            if type(workload).run is not Workload.run:
+                # bfs/reduction drive their own multi-launch loops with
+                # host logic between launches; there is no single grid
+                # to co-schedule.
+                raise ExperimentError(
+                    f"workload {entry['workload']!r} drives its own "
+                    f"launch loop and cannot join a scenario"
+                )
+            workloads.append(workload)
+        specs = [workload.prepare(gpu) for workload in workloads]
+        start_cycle = gpu.cycle
+        start_stats = gpu.collect_stats().as_dict()
+        for entry, workload, spec in zip(kernels, workloads, specs):
+            gpu.submit(
+                workload.program,
+                grid_dim=spec.grid_dim,
+                block_dim=spec.block_dim,
+                params=spec.params,
+                stream=entry.get("stream", 0),
+                sm_mask=entry.get("sm_mask"),
+            )
+        results = gpu.run_until_idle(attribute=True)
+        if verify:
+            for entry, workload in zip(kernels, workloads):
+                if not workload.verify(gpu):
+                    raise ExperimentError(
+                        f"workload {entry['workload']!r} failed "
+                        f"verification on {config.name!r} in scenario"
+                    )
+        end_stats = gpu.collect_stats().as_dict()
+        device_stats = {
+            key: end_stats[key] - start_stats.get(key, 0)
+            for key in sorted(end_stats)
+        }
+        attributed: Dict[str, float] = {}
+        for result in results:
+            for key, value in result.stats.items():
+                attributed[key] = attributed.get(key, 0) + value
+        unattributed = {
+            key: device_stats[key] - attributed.get(key, 0)
+            for key in device_stats
+            if device_stats[key] - attributed.get(key, 0) != 0
+        }
+        # run_until_idle advanced past the last simulated cycle; the
+        # wall clock covers everything including the memory-drain tail.
+        wall_cycles = gpu.cycle - 1 - start_cycle
+        payload = {
+            "config": config.name,
+            "verified": bool(verify),
+            "wall_cycles": wall_cycles,
+            "primary_cycles": results[0].cycles,
+            "sum_kernel_cycles": sum(result.cycles for result in results),
+            "device_stats": device_stats,
+            "unattributed": unattributed,
+        }
+        if not core_backend_is_exact(config.core_backend):
+            payload["core"] = config.core_backend
+            payload["estimated_cycles"] = True
+        return RunRecord(
+            experiment=experiment.to_dict(),
+            kind="scenario",
+            total_cycles=wall_cycles,
+            launches=[scenario_launch_to_dict(result)
+                      for result in results],
+            payload=payload,
+            artifacts={
+                "gpu": gpu,
+                "workload": workloads,
+                "results": results,
             },
         )

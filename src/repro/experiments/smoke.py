@@ -157,3 +157,113 @@ def run_smoke(session, jobs: Optional[int] = 1,
         "counters": counters,
         "runs": report_runs,
     }
+
+
+#: Configuration the scenario smoke runs on: gf106 has 4 SMs, enough to
+#: split two kernels across disjoint 2-SM partitions.
+SCENARIO_SMOKE_CONFIG = "gf106"
+
+#: The two co-located kernels of the scenario smoke (tiny problem sizes,
+#: mirroring :data:`SMOKE_PARAMS`).
+SCENARIO_SMOKE_KERNELS = (
+    {"workload": "vecadd", "params": {"n": 256, "block_dim": 64},
+     "stream": 0},
+    {"workload": "stencil", "params": {"n": 256, "block_dim": 64},
+     "stream": 1},
+)
+
+
+def scenario_smoke_experiments() -> Dict[str, Experiment]:
+    """The scenario smoke grid: shared-SM and SM-partitioned co-location.
+
+    Both scenarios co-locate the same two kernels on separate streams of
+    one :data:`SCENARIO_SMOKE_CONFIG` device; ``shared`` lets the CTA
+    dispatcher place them anywhere, ``partitioned`` pins each kernel to
+    a disjoint half of the SMs.
+    """
+    first, second = (dict(entry) for entry in SCENARIO_SMOKE_KERNELS)
+    return {
+        "shared": Experiment.scenario(
+            SCENARIO_SMOKE_CONFIG, [first, second], label="smoke-shared"),
+        "partitioned": Experiment.scenario(
+            SCENARIO_SMOKE_CONFIG,
+            [dict(first, sm_mask=[0, 1]), dict(second, sm_mask=[2, 3])],
+            label="smoke-partitioned"),
+    }
+
+
+def run_scenario_smoke(session, jobs: Optional[int] = 1,
+                       progress: Optional[
+                           Callable[[int, int, RunRecord], None]] = None,
+                       cores: Optional[tuple] = None) -> Dict[str, Any]:
+    """Run the concurrent-kernel smoke scenarios; returns a report.
+
+    Each scenario in :func:`scenario_smoke_experiments` runs once per
+    core backend (default :data:`SMOKE_CORES`).  Besides the verified
+    flag, every run reports its per-kernel attribution — cycles,
+    instructions, overlap — and ``attribution_exact``: whether the
+    per-kernel stats plus the unattributed residual sum back to the
+    whole-device delta key-for-key.  The CI scenario leg asserts the
+    per-kernel counts and that every run attributes exactly.
+    """
+    if cores is None:
+        cores = (session.core,) if session.core is not None else SMOKE_CORES
+    grid = scenario_smoke_experiments()
+    report_runs = []
+    for core in cores:
+        if core == session.core:
+            core_session = session
+        else:
+            from repro.experiments.session import Session
+
+            core_session = Session(cache=session.cache_enabled,
+                                   configs=session._local_configs,
+                                   core=core, store=session.store)
+        runs = core_session.run_all(list(grid.values()), jobs=jobs,
+                                    progress=progress)
+        for mode, record in zip(grid.keys(), runs):
+            attributed: Dict[str, int] = dict(
+                record.payload.get("unattributed", {}))
+            for launch in record.launches:
+                for key, value in launch.get("stats", {}).items():
+                    attributed[key] = attributed.get(key, 0) + value
+            device = record.payload.get("device_stats", {})
+            exact = (attributed == {key: value
+                                    for key, value in device.items()
+                                    if value != 0})
+            report_runs.append({
+                "mode": mode,
+                "config": SCENARIO_SMOKE_CONFIG,
+                "core": core,
+                "wall_cycles": record.total_cycles,
+                "sum_kernel_cycles":
+                    record.payload.get("sum_kernel_cycles", 0),
+                "verified": bool(record.payload.get("verified", False)),
+                "attribution_exact": exact,
+                "kernels": [
+                    {
+                        "workload": entry["workload"],
+                        "launch_id": launch["launch_id"],
+                        "stream": launch["stream"],
+                        "sm_mask": entry["sm_mask"],
+                        "cycles": launch["cycles"],
+                        "instructions": launch["instructions"],
+                        "overlap_cycles": launch["overlap_cycles"],
+                    }
+                    for entry, launch in zip(
+                        record.experiment["params"]["kernels"],
+                        record.launches)
+                ],
+            })
+    return {
+        "config": SCENARIO_SMOKE_CONFIG,
+        "modes": sorted(grid),
+        "cores": list(cores),
+        "scenario_count": len(grid),
+        "core_count": len(cores),
+        "total_runs": len(report_runs),
+        "all_verified": all(run["verified"] for run in report_runs),
+        "all_attributed": all(run["attribution_exact"]
+                              for run in report_runs),
+        "runs": report_runs,
+    }

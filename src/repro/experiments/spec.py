@@ -3,7 +3,8 @@
 An :class:`Experiment` names everything needed to reproduce one of the
 paper's analyses — which kind of analysis, on which GPU configuration(s),
 over which workload, with which parameters — as plain data that
-round-trips through JSON.  The three kinds map onto the paper:
+round-trips through JSON.  Three kinds map onto the paper, one extends
+it:
 
 ``static``
     Table I: pointer-chase measurement of the per-generation L1/L2/DRAM
@@ -17,6 +18,13 @@ round-trips through JSON.  The three kinds map onto the paper:
     per-stage latency breakdown and the exposed/hidden split.  Workload
     constructor parameters ride along in ``params`` and are validated
     against the workload's signature.
+``scenario``
+    Concurrent multi-kernel co-location (beyond the paper's isolated
+    runs): several workloads submitted to one GPU on streams, sharing
+    all SMs or pinned to disjoint ``sm_mask`` partitions, with
+    per-kernel stat attribution.  ``params["kernels"]`` is the list of
+    kernel entries — each a dict with ``workload`` (registered name)
+    and optional ``params``/``stream``/``sm_mask``.
 
 :meth:`Experiment.grid` expands lists of configs/workloads/parameter
 values into the cartesian product of experiments — the declarative form
@@ -35,11 +43,14 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.utils.errors import ExperimentError
 
 #: The supported experiment kinds.
-EXPERIMENT_KINDS: Tuple[str, ...] = ("static", "sweep", "dynamic")
+EXPERIMENT_KINDS: Tuple[str, ...] = ("static", "sweep", "dynamic",
+                                     "scenario")
 
 #: Session-level parameters accepted by each kind (name -> (type, default)).
 #: ``dynamic`` additionally accepts the chosen workload's constructor
-#: parameters, which are validated separately against its signature.
+#: parameters, which are validated separately against its signature;
+#: ``scenario``'s ``kernels`` list is validated structurally by
+#: :func:`normalize_scenario_kernels`.
 KIND_PARAMS: Dict[str, Dict[str, Tuple[type, Any]]] = {
     "static": {
         "accesses": (int, 256),
@@ -55,7 +66,102 @@ KIND_PARAMS: Dict[str, Dict[str, Tuple[type, Any]]] = {
         "buckets": (int, 24),
         "verify": (bool, True),
     },
+    "scenario": {
+        "kernels": (list, None),
+        "verify": (bool, True),
+    },
 }
+
+#: Keys a scenario kernel entry may carry.
+SCENARIO_KERNEL_KEYS = ("workload", "params", "stream", "sm_mask")
+
+
+def normalize_scenario_kernels(kernels: Any) -> List[Dict[str, Any]]:
+    """Validate and canonicalize a scenario's ``kernels`` list.
+
+    Each entry must be a mapping with a ``workload`` name and optional
+    ``params`` (workload constructor parameters), ``stream``
+    (non-negative int, default 0), and ``sm_mask`` (list of SM indices
+    or ``None`` for all SMs).  Entries come back in a canonical shape —
+    every key present, ``sm_mask`` sorted and deduplicated — so equal
+    scenarios serialize to equal canonical JSON (and share a
+    ``spec_hash``) regardless of how sparsely they were written.
+    """
+    if not isinstance(kernels, (list, tuple)) or not kernels:
+        raise ExperimentError(
+            "'scenario' experiments need a non-empty 'kernels' list"
+        )
+    normalized: List[Dict[str, Any]] = []
+    for position, entry in enumerate(kernels):
+        if not isinstance(entry, Mapping):
+            raise ExperimentError(
+                f"scenario kernel #{position} must be a mapping with a "
+                f"'workload' key, got {entry!r}"
+            )
+        unknown = set(entry) - set(SCENARIO_KERNEL_KEYS)
+        if unknown:
+            raise ExperimentError(
+                f"scenario kernel #{position} has unknown fields "
+                f"{sorted(unknown)}; valid fields: "
+                f"{list(SCENARIO_KERNEL_KEYS)}"
+            )
+        workload = entry.get("workload")
+        if not workload or not isinstance(workload, str):
+            raise ExperimentError(
+                f"scenario kernel #{position} needs a 'workload' name"
+            )
+        params = entry.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise ExperimentError(
+                f"scenario kernel #{position}: 'params' must be a "
+                f"mapping, got {params!r}"
+            )
+        stream = _coerce(f"kernel #{position} stream",
+                         entry.get("stream", 0), int)
+        if stream < 0:
+            raise ExperimentError(
+                f"scenario kernel #{position}: stream must be >= 0"
+            )
+        sm_mask = entry.get("sm_mask")
+        if sm_mask is not None:
+            if not isinstance(sm_mask, (list, tuple)):
+                raise ExperimentError(
+                    f"scenario kernel #{position}: 'sm_mask' must be a "
+                    f"list of SM indices or null"
+                )
+            sm_mask = sorted({
+                _coerce(f"kernel #{position} sm_mask entry", sm_id, int)
+                for sm_id in sm_mask
+            })
+            if not sm_mask:
+                raise ExperimentError(
+                    f"scenario kernel #{position}: 'sm_mask' must name "
+                    f"at least one SM"
+                )
+        normalized.append({
+            "workload": workload,
+            "params": dict(params),
+            "stream": stream,
+            "sm_mask": sm_mask,
+        })
+    return normalized
+
+
+def coerce_scenario_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate and coerce a scenario experiment's parameter dict."""
+    spec = KIND_PARAMS["scenario"]
+    unknown = set(params) - set(spec)
+    if unknown:
+        raise ExperimentError(
+            f"unknown parameter(s) {sorted(unknown)} for 'scenario' "
+            f"experiments; valid parameters: {sorted(spec)}"
+        )
+    coerced: Dict[str, Any] = {
+        "kernels": normalize_scenario_kernels(params.get("kernels")),
+    }
+    if "verify" in params:
+        coerced["verify"] = _coerce("verify", params["verify"], bool)
+    return coerced
 
 
 def parse_param_token(token: str) -> Tuple[str, Any]:
@@ -85,6 +191,53 @@ def parse_param_token(token: str) -> Tuple[str, Any]:
 def parse_param_tokens(tokens: Iterable[str]) -> Dict[str, Any]:
     """Parse a list of CLI ``key=value`` tokens into a params dict."""
     return dict(parse_param_token(token) for token in tokens)
+
+
+def parse_scenario_kernel_token(token: str) -> Dict[str, Any]:
+    """Parse one CLI scenario kernel token into a kernel entry dict.
+
+    The token format is ``workload[:key=value,...]``.  Two keys are
+    special — ``stream`` (integer stream id) and ``sm_mask`` (SM indices
+    joined with ``+``, e.g. ``sm_mask=0+1``) — and everything else is a
+    workload parameter, coerced the same way as ``--param`` tokens::
+
+        vecadd:n=2048
+        stencil:n=1024,stream=1,sm_mask=2+3
+
+    The returned entry is in the shape :func:`normalize_scenario_kernels`
+    expects (it still runs afterwards, so validation is shared with the
+    JSON spec path).
+    """
+    name, _, rest = token.partition(":")
+    name = name.strip()
+    if not name:
+        raise ExperimentError(
+            f"malformed scenario kernel {token!r}; expected "
+            f"workload[:key=value,...]"
+        )
+    entry: Dict[str, Any] = {"workload": name}
+    params: Dict[str, Any] = {}
+    for part in filter(None, (p.strip() for p in rest.split(","))):
+        key, value = parse_param_token(part)
+        if key == "stream":
+            entry["stream"] = value
+        elif key == "sm_mask":
+            if isinstance(value, str):
+                try:
+                    value = [int(p) for p in value.split("+") if p.strip()]
+                except ValueError:
+                    raise ExperimentError(
+                        f"malformed sm_mask in scenario kernel {token!r}; "
+                        f"expected '+'-joined SM indices, e.g. sm_mask=0+1"
+                    ) from None
+            elif isinstance(value, int):
+                value = [value]
+            entry["sm_mask"] = value
+        else:
+            params[key] = value
+    if params:
+        entry["params"] = params
+    return entry
 
 
 def _coerce(name: str, value: Any, target: type) -> Any:
@@ -219,16 +372,18 @@ class Experiment:
     Attributes
     ----------
     kind:
-        ``"static"``, ``"sweep"``, or ``"dynamic"``.
+        ``"static"``, ``"sweep"``, ``"dynamic"``, or ``"scenario"``.
     configs:
         Registered GPU configuration names.  ``static`` accepts several
         (one Table I column each, defaulting to the paper's four);
-        ``sweep`` and ``dynamic`` require exactly one.
+        ``sweep``, ``dynamic``, and ``scenario`` require exactly one.
     workload:
-        Registered workload name (``dynamic`` only).
+        Registered workload name (``dynamic`` only; ``scenario``
+        kernels name their workloads inside ``params["kernels"]``).
     params:
         Kind-specific parameters; for ``dynamic`` this also carries the
-        workload's constructor parameters.
+        workload's constructor parameters, for ``scenario`` the
+        ``kernels`` list.
     label:
         Optional free-form tag carried into the :class:`RunRecord`.
     """
@@ -247,7 +402,8 @@ class Experiment:
             )
         object.__setattr__(self, "configs", tuple(self.configs))
         object.__setattr__(self, "params", dict(self.params))
-        if self.kind in ("sweep", "dynamic") and len(self.configs) != 1:
+        if (self.kind in ("sweep", "dynamic", "scenario")
+                and len(self.configs) != 1):
             raise ExperimentError(
                 f"{self.kind!r} experiments need exactly one config, "
                 f"got {list(self.configs)}"
@@ -258,6 +414,9 @@ class Experiment:
             raise ExperimentError(
                 f"{self.kind!r} experiments take no workload"
             )
+        if self.kind == "scenario":
+            object.__setattr__(
+                self, "params", coerce_scenario_params(self.params))
         if self.kind in ("static", "sweep"):
             # Store the coerced values so the runners see e.g. "48" as 48
             # and a scalar footprint as a one-element list.  Dynamic params
@@ -289,6 +448,26 @@ class Experiment:
         """A Figure 1/2 style dynamic-analysis experiment."""
         return cls(kind="dynamic", configs=(config,), workload=workload,
                    params=params, label=label)
+
+    @classmethod
+    def scenario(cls, config: str,
+                 kernels: Sequence[Mapping[str, Any]],
+                 label: Optional[str] = None,
+                 **params: Any) -> "Experiment":
+        """A concurrent multi-kernel co-location experiment.
+
+        ``kernels`` is a sequence of kernel entries (see
+        :func:`normalize_scenario_kernels`)::
+
+            Experiment.scenario("gf106", kernels=[
+                {"workload": "vecadd", "stream": 0},
+                {"workload": "stencil", "stream": 1,
+                 "params": {"n": 2048}},
+            ])
+        """
+        return cls(kind="scenario", configs=(config,),
+                   params={"kernels": list(kernels), **params},
+                   label=label)
 
     @classmethod
     def grid(
@@ -416,7 +595,15 @@ class Experiment:
             parts.append("on " + ",".join(self.configs))
         if self.workload:
             parts.append(f"workload={self.workload}")
-        if self.params:
+        if self.kind == "scenario":
+            parts.append("kernels=" + "+".join(
+                entry["workload"] for entry in self.params["kernels"]))
+            extras = {k: v for k, v in self.params.items()
+                      if k != "kernels"}
+            if extras:
+                parts.append(" ".join(f"{k}={v}" for k, v in
+                                      sorted(extras.items())))
+        elif self.params:
             parts.append(" ".join(f"{k}={v}" for k, v in
                                   sorted(self.params.items())))
         if self.label:

@@ -17,7 +17,7 @@ from repro.gpu.configs import (
     tesla_gt200,
     unregister_config,
 )
-from repro.gpu.gpu import GPU, KernelResult
+from repro.gpu.gpu import GPU, KernelResult, LaunchHandle
 
 __all__ = [
     "CONFIG_REGISTRY",
@@ -25,6 +25,7 @@ __all__ = [
     "GPU",
     "GPUConfig",
     "KernelResult",
+    "LaunchHandle",
     "TABLE_I_TARGETS",
     "available_configs",
     "config_description",

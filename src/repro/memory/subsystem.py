@@ -22,7 +22,7 @@ from repro.memory.interconnect import Interconnect, InterconnectConfig
 from repro.memory.partition import MemoryPartition, PartitionConfig
 from repro.memory.request import MemoryRequest
 from repro.utils.errors import ConfigurationError
-from repro.utils.stats import StatCounters
+from repro.utils.stats import _ATTRIBUTION, StatCounters
 
 
 #: Sentinel wake-up time for a fully quiescent memory system.
@@ -100,25 +100,52 @@ class MemorySystem:
         return self.request_network.can_inject(self.partition_of(address))
 
     def try_inject(self, sm_id: int, request: MemoryRequest, now: int) -> bool:
-        """Inject ``request`` into the request network if credits allow."""
-        destination = self.partition_of(request.address)
-        if not self.request_network.can_inject(destination):
-            self.stats.add("inject_stall_cycles")
-            return False
-        request.partition = destination
-        self.tracker.record_event(request, Event.ICNT_INJECT, now)
-        self.request_network.inject(sm_id, destination, request, now)
-        self.stats.add("requests_injected")
+        """Inject ``request`` into the request network if credits allow.
+
+        When a per-launch attribution context is active, the counters
+        bumped here are narrowed from the SM's blanket context to the
+        launch that owns ``request`` — tail traffic of a drained kernel
+        can still be injected while a successor is resident on the SM.
+        """
+        blanket = _ATTRIBUTION[0]
+        if blanket is not None:
+            _ATTRIBUTION[0] = (request.launch_id
+                               if request.launch_id >= 0 else None)
+        try:
+            destination = self.partition_of(request.address)
+            if not self.request_network.can_inject(destination):
+                self.stats.add("inject_stall_cycles")
+                return False
+            request.partition = destination
+            self.tracker.record_event(request, Event.ICNT_INJECT, now)
+            self.request_network.inject(sm_id, destination, request, now)
+            self.stats.add("requests_injected")
+        finally:
+            if blanket is not None:
+                _ATTRIBUTION[0] = blanket
         if now + 1 < self._wake:
             self._wake = now + 1
         self._next_stale = True
         return True
 
     def pop_response(self, sm_id: int) -> Optional[MemoryRequest]:
-        """Remove one response destined for ``sm_id``, if any has arrived."""
+        """Remove one response destined for ``sm_id``, if any has arrived.
+
+        Like :meth:`try_inject`, narrows an active attribution context to
+        the launch that owns the delivered response.
+        """
         response = self.reply_network.pop(sm_id)
         if response is not None:
-            self.stats.add("responses_delivered")
+            blanket = _ATTRIBUTION[0]
+            if blanket is not None:
+                _ATTRIBUTION[0] = (response.launch_id
+                                   if response.launch_id >= 0 else None)
+                try:
+                    self.stats.add("responses_delivered")
+                finally:
+                    _ATTRIBUTION[0] = blanket
+            else:
+                self.stats.add("responses_delivered")
             self._next_stale = True
         return response
 
@@ -231,17 +258,25 @@ class MemorySystem:
                 self._next_stale = False
         return None if wake == _NEVER else int(wake)
 
-    def collect_stats(self) -> StatCounters:
-        """Aggregate statistics from all components into one collection."""
+    def collect_stats(self, launch_id: Optional[int] = None) -> StatCounters:
+        """Aggregate statistics from all components into one collection.
+
+        With ``launch_id``, only the counters attributed to that kernel
+        launch are collected.  The memory system's internal per-cycle
+        work (network hops, DRAM scheduling, L2 lookups) runs outside
+        any attribution context, so those counters land in the device
+        totals but in no launch view — they form the "unattributed"
+        residual of a scenario report.
+        """
         combined = StatCounters(prefix="memory")
-        combined.merge(self.stats.as_dict())
-        combined.merge(self.request_network.stats.as_dict())
-        combined.merge(self.reply_network.stats.as_dict())
+        combined.merge(self.stats.view(launch_id))
+        combined.merge(self.request_network.stats.view(launch_id))
+        combined.merge(self.reply_network.stats.view(launch_id))
         for partition in self.partitions:
-            combined.merge(partition.stats.as_dict())
-            combined.merge(partition.dram.stats.as_dict())
+            combined.merge(partition.stats.view(launch_id))
+            combined.merge(partition.dram.stats.view(launch_id))
             if partition.l2 is not None:
-                combined.merge(partition.l2.stats.as_dict())
-                combined.merge(partition.l2.cache.stats.as_dict())
-                combined.merge(partition.l2.mshr.stats.as_dict())
+                combined.merge(partition.l2.stats.view(launch_id))
+                combined.merge(partition.l2.cache.stats.view(launch_id))
+                combined.merge(partition.l2.mshr.stats.view(launch_id))
         return combined

@@ -34,7 +34,10 @@ from typing import (
 )
 
 from repro.experiments.results import RunRecord
-from repro.experiments.spec import workload_param_spec
+from repro.experiments.spec import (
+    normalize_scenario_kernels,
+    workload_param_spec,
+)
 from repro.sensitivity.study import (
     SensitivityCurve,
     SensitivityStudy,
@@ -70,6 +73,11 @@ class LatencyToleranceAtlas:
         Workload parameters held constant across the grid.
     label:
         Optional free-form tag carried into the result.
+    neighbor:
+        Optional co-location axis forwarded to every row's
+        :class:`SensitivityStudy`: a scenario kernel entry run
+        concurrently with the primary workload at every grid point, so
+        the atlas maps latency tolerance *under contention*.
     """
 
     config: str
@@ -80,6 +88,7 @@ class LatencyToleranceAtlas:
     workload: str = "microbench"
     params: Mapping[str, Any] = field(default_factory=dict)
     label: Optional[str] = None
+    neighbor: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.config:
@@ -113,6 +122,11 @@ class LatencyToleranceAtlas:
                 f"parameter"
             )
         object.__setattr__(self, "params", params)
+        if self.neighbor is not None:
+            entry = dict(self.neighbor)
+            entry.setdefault("stream", 1)
+            object.__setattr__(
+                self, "neighbor", normalize_scenario_kernels([entry])[0])
 
     def validate_axis(self) -> None:
         """Check the axis against the workload's constructor signature.
@@ -143,13 +157,15 @@ class LatencyToleranceAtlas:
             "workload": self.workload,
             "params": dict(self.params),
             "label": self.label,
+            "neighbor": dict(self.neighbor) if self.neighbor else None,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "LatencyToleranceAtlas":
         """Rebuild an atlas spec from :meth:`to_dict` output."""
         unknown = set(data) - {"config", "axis", "values", "transform",
-                               "scales", "workload", "params", "label"}
+                               "scales", "workload", "params", "label",
+                               "neighbor"}
         if unknown:
             raise ExperimentError(
                 f"unknown atlas fields {sorted(unknown)}"
@@ -166,6 +182,7 @@ class LatencyToleranceAtlas:
             workload=data.get("workload", "microbench"),
             params=dict(data.get("params", {})),
             label=data.get("label"),
+            neighbor=data.get("neighbor"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -182,8 +199,10 @@ class LatencyToleranceAtlas:
 
     def describe(self) -> str:
         """One-line human-readable summary."""
+        neighbor = (f" (co-located with {self.neighbor['workload']})"
+                    if self.neighbor else "")
         return (f"latency-tolerance atlas of {self.workload} on "
-                f"{self.config}: {self.axis} x "
+                f"{self.config}{neighbor}: {self.axis} x "
                 f"{self.transform.describe()} at scales "
                 f"{[format(s, 'g') for s in self.scales]}")
 
@@ -200,6 +219,7 @@ class LatencyToleranceAtlas:
                 scales=self.scales,
                 params={**self.params, self.axis: value},
                 label=self.label,
+                neighbor=self.neighbor,
             )
             for value in self.values
         ]

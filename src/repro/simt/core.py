@@ -32,7 +32,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
 
@@ -69,6 +69,10 @@ class KernelLaunch:
     local_base:
         Base address in global memory of the per-thread local-memory
         backing store (0 when the kernel uses no local memory).
+    launch_id:
+        GPU-unique id of this launch, assigned by :meth:`GPU.submit`.
+        CTAs, warps, and memory requests carry it so statistics can be
+        attributed per kernel in multi-kernel scenarios.
     """
 
     program: Program
@@ -76,6 +80,7 @@ class KernelLaunch:
     block_dim: int
     params: Dict[str, float] = field(default_factory=dict)
     local_base: int = 0
+    launch_id: int = 0
 
     def __post_init__(self) -> None:
         if self.grid_dim < 1 or self.block_dim < 1:
@@ -168,6 +173,17 @@ class StreamingMultiprocessor:
         self.ldst.on_load_complete = self._on_load_complete
         self.ctas: Dict[int, CTAContext] = {}
         self._warp_cta: Dict[int, CTAContext] = {}
+        # Launch exclusivity: an SM hosts CTAs of one kernel launch at a
+        # time (cleared when the last resident CTA retires).  Kernels
+        # still overlap *across* SMs and interfere in the shared memory
+        # system; per-SM exclusivity keeps every core backend's
+        # engine-internal state (cta_id keys, cached programs) valid
+        # without multi-launch awareness.
+        self._resident_launch: Optional[KernelLaunch] = None
+        #: Optional callback invoked (with the retiring CTAContext) as
+        #: each CTA leaves the SM; the GPU uses it to track per-launch
+        #: completion for streams.
+        self.on_cta_retired: Optional[Callable[[CTAContext], None]] = None
         self._alu_pipe: List[tuple] = []
         self._sequence = itertools.count()
         self._next_local_warp = 0
@@ -204,7 +220,16 @@ class StreamingMultiprocessor:
         return sum(cta.launch.program.shared_bytes for cta in self.ctas.values())
 
     def can_accept_cta(self, launch: KernelLaunch) -> bool:
-        """Whether occupancy limits allow another CTA of ``launch``."""
+        """Whether occupancy limits allow another CTA of ``launch``.
+
+        Besides the occupancy limits, an SM only co-hosts CTAs of a
+        single launch at a time (launch exclusivity — see
+        ``_resident_launch``); a CTA of a different launch must wait for
+        the SM to drain or go to another SM.
+        """
+        if (self._resident_launch is not None
+                and self._resident_launch is not launch):
+            return False
         if len(self.ctas) >= self.config.max_ctas:
             return False
         needed_warps = self.warps_per_cta(launch)
@@ -237,9 +262,11 @@ class StreamingMultiprocessor:
                 valid_mask=valid,
             )
             warp.launch_order = now * 1000 + self._next_local_warp
+            warp.launch_id = launch.launch_id
             self._next_local_warp += 1
             warps.append(warp)
         context = CTAContext(cta_id, launch, warps)
+        self._resident_launch = launch
         self.ctas[cta_id] = context
         self._num_warps += len(warps)
         self._live_warps += len(warps)
@@ -264,6 +291,12 @@ class StreamingMultiprocessor:
                 self._forget_warp(warp)
             self.retired_ctas.append(cta_id)
             self.stats.add("ctas_retired")
+            if self.on_cta_retired is not None:
+                self.on_cta_retired(context)
+        if finished and not self.ctas:
+            # Last resident CTA gone: the SM is free for another launch
+            # (its in-flight memory traffic may still be draining).
+            self._resident_launch = None
 
     # ------------------------------------------------------------------
     # Backend hooks (no-ops in the reference engine)
@@ -573,11 +606,15 @@ class StreamingMultiprocessor:
             candidates.append(ldst_next)
         return min(candidates) if candidates else None
 
-    def collect_stats(self) -> StatCounters:
-        """Combined SM statistics including the LD/ST unit and L1 cache."""
+    def collect_stats(self, launch_id: Optional[int] = None) -> StatCounters:
+        """Combined SM statistics including the LD/ST unit and L1 cache.
+
+        With ``launch_id``, only the counters attributed to that kernel
+        launch are collected (see :meth:`StatCounters.launch_dict`).
+        """
         combined = StatCounters(prefix=f"sm{self.sm_id}")
-        combined.merge(self.stats.as_dict())
-        combined.merge(self.ldst.collect_stats().as_dict())
+        combined.merge(self.stats.view(launch_id))
+        combined.merge(self.ldst.collect_stats(launch_id).as_dict())
         return combined
 
 

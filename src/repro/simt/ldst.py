@@ -379,6 +379,7 @@ class LoadStoreUnit:
             pc=pending.instruction.pc,
             tracked=True,
             load_token=pending.token,
+            launch_id=pending.warp.launch_id,
         )
         self.tracker.record_event(request, Event.ISSUE, now)
         self.l1_access_queue.append(
@@ -431,11 +432,15 @@ class LoadStoreUnit:
             candidates.append(now + 1)
         return min(candidates) if candidates else None
 
-    def collect_stats(self) -> StatCounters:
-        """Combined statistics of the LD/ST unit, L1 cache, and L1 MSHRs."""
+    def collect_stats(self, launch_id: Optional[int] = None) -> StatCounters:
+        """Combined statistics of the LD/ST unit, L1 cache, and L1 MSHRs.
+
+        With ``launch_id``, only the counters attributed to that kernel
+        launch are collected.
+        """
         combined = StatCounters(prefix=f"sm{self.sm_id}")
-        combined.merge(self.stats.as_dict())
+        combined.merge(self.stats.view(launch_id))
         if self.l1 is not None:
-            combined.merge(self.l1.stats.as_dict())
-        combined.merge(self.l1_mshr.stats.as_dict())
+            combined.merge(self.l1.stats.view(launch_id))
+        combined.merge(self.l1_mshr.stats.view(launch_id))
         return combined

@@ -47,6 +47,10 @@ class Warp:
         self.last_issue_cycle = -1
         self.instructions_issued = 0
         self.launch_order = warp_id
+        #: Id of the kernel launch this warp belongs to (set by the SM at
+        #: CTA placement); memory requests inherit it for per-kernel
+        #: stat attribution in multi-kernel scenarios.
+        self.launch_id = 0
 
     # ------------------------------------------------------------------
     # Control state

@@ -12,11 +12,43 @@ dict-backed counter pays; the string-keyed :meth:`add`/:meth:`set`/
 :meth:`get` surface and :meth:`as_dict` are unchanged.  A slot that has
 been interned but never incremented does not appear in :meth:`as_dict`,
 so pre-interning slots at construction time is free.
+
+Per-launch attribution
+----------------------
+
+Multi-kernel scenarios (:meth:`repro.gpu.gpu.GPU.submit`) need every
+counter split by the kernel launch that caused it.  Rather than thread a
+launch id through every component, attribution is a *context*: while
+:data:`_ATTRIBUTION` holds a launch id, every :meth:`inc` additionally
+bumps a per-launch shadow of the touched slot, and
+:meth:`launch_dict` reads one launch's shadow back with the same
+prefixing as :meth:`as_dict`.  The context is ``None`` outside scenario
+runs, so the only single-kernel cost is one list load and an ``is not
+None`` test per increment.  :meth:`set` writes gauges (absolute values,
+not causes) and is deliberately not attributed.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: The attribution context: a one-element cell (cheap to read from the
+#: ``inc`` hot path) holding the launch id all increments are currently
+#: charged to, or ``None`` for unattributed operation.  The GPU drive
+#: loop sets it around each SM's cycle; the memory system narrows it per
+#: request.  Always reset to ``None`` afterwards so stat *collection*
+#: (``merge`` goes through ``inc`` too) never corrupts the shadows.
+_ATTRIBUTION: List[Optional[int]] = [None]
+
+
+def set_attribution(launch_id: Optional[int]) -> None:
+    """Set (or with ``None`` clear) the per-launch attribution context."""
+    _ATTRIBUTION[0] = launch_id
+
+
+def current_attribution() -> Optional[int]:
+    """The launch id increments are currently attributed to, if any."""
+    return _ATTRIBUTION[0]
 
 
 class StatCounters:
@@ -26,7 +58,7 @@ class StatCounters:
     conveniences for merging and pretty-printing.
     """
 
-    __slots__ = ("prefix", "_index", "_values")
+    __slots__ = ("prefix", "_index", "_values", "_per_launch")
 
     def __init__(self, prefix: str = "") -> None:
         self.prefix = prefix
@@ -34,6 +66,11 @@ class StatCounters:
         #: Per-slot values; ``None`` marks an interned-but-untouched slot,
         #: which keeps pre-interning invisible to ``as_dict()``.
         self._values: List[Optional[float]] = []
+        #: Per-launch shadow value lists (same slot indexing as
+        #: ``_values``), populated only while an attribution context is
+        #: set.  Launch ids are globally unique per GPU, so a shadow is
+        #: the launch's *lifetime* contribution — no delta snapshots.
+        self._per_launch: Dict[int, List[Optional[float]]] = {}
 
     # ------------------------------------------------------------------
     # Slot-based fast path
@@ -56,6 +93,15 @@ class StatCounters:
         """Increment the counter at ``slot`` (from :meth:`slot`)."""
         value = self._values[slot]
         self._values[slot] = amount if value is None else value + amount
+        launch_id = _ATTRIBUTION[0]
+        if launch_id is not None:
+            shadow = self._per_launch.get(launch_id)
+            if shadow is None:
+                shadow = self._per_launch[launch_id] = []
+            if len(shadow) <= slot:
+                shadow.extend([None] * (slot + 1 - len(shadow)))
+            value = shadow[slot]
+            shadow[slot] = amount if value is None else value + amount
 
     # ------------------------------------------------------------------
     # String-keyed surface (unchanged semantics)
@@ -96,6 +142,45 @@ class StatCounters:
         if not self.prefix:
             return dict(self._items())
         return {f"{self.prefix}.{k}": v for k, v in self._items()}
+
+    def launch_dict(self, launch_id: int) -> Dict[str, float]:
+        """One launch's attributed counters, prefixed like :meth:`as_dict`.
+
+        Counters never bumped under ``launch_id``'s attribution context
+        are absent, exactly as untouched slots are absent from
+        :meth:`as_dict`; an unknown launch id yields an empty dict.
+        """
+        shadow = self._per_launch.get(launch_id)
+        if not shadow:
+            return {}
+        bound = len(shadow)
+        items = ((name, shadow[index])
+                 for name, index in self._index.items()
+                 if index < bound and shadow[index] is not None)
+        if not self.prefix:
+            return dict(items)
+        return {f"{self.prefix}.{k}": v for k, v in items}
+
+    def launch_get(self, launch_id: int, name: str,
+                   default: float = 0) -> float:
+        """One launch's attributed value of ``name`` (``default`` if unset)."""
+        shadow = self._per_launch.get(launch_id)
+        index = self._index.get(name)
+        if shadow is None or index is None or index >= len(shadow):
+            return default
+        value = shadow[index]
+        return default if value is None else value
+
+    def view(self, launch_id: Optional[int] = None) -> Dict[str, float]:
+        """:meth:`as_dict`, or :meth:`launch_dict` when a launch is given.
+
+        The common shape for ``collect_stats(launch_id=...)`` threading:
+        components aggregate either the device totals or one launch's
+        attributed share through the same code path.
+        """
+        if launch_id is None:
+            return self.as_dict()
+        return self.launch_dict(launch_id)
 
     def merge(self, other: Mapping[str, float]) -> None:
         """Add all counters from ``other`` into this collection."""

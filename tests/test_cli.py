@@ -143,11 +143,49 @@ class TestCommands:
             assert name in output
         assert "exact" in output
 
+    def test_cores_json_machine_readable(self, capsys):
+        assert main(["cores", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        names = [core["name"] for core in report["cores"]]
+        assert report["core_count"] == len(names)
+        for name in ("reference", "fast", "vector", "estimator"):
+            assert name in names
+        by_name = {core["name"]: core for core in report["cores"]}
+        assert by_name["reference"]["exact"] is True
+        assert by_name["estimator"]["exact"] is False
+
+    def test_scenario_two_kernels(self, capsys):
+        assert main([
+            "scenario", "vecadd:n=256", "stencil:n=256,stream=1",
+            "--config", "gf106",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "2 concurrent kernel(s)" in output
+        assert "vecadd" in output and "stencil3" in output
+        assert "wall cycles" in output
+
+    def test_scenario_json_record(self, capsys):
+        assert main([
+            "scenario", "vecadd:n=256",
+            "stencil:n=256,stream=1,sm_mask=2+3",
+            "--config", "gf106", "--json",
+        ]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kind"] == "scenario"
+        assert len(record["launches"]) == 2
+        assert record["launches"][1]["stream"] == 1
+        kernels = record["experiment"]["params"]["kernels"]
+        assert kernels[1]["sm_mask"] == [2, 3]
+
+    def test_scenario_rejects_multi_launch_workload(self, capsys):
+        assert main(["scenario", "bfs", "--config", "gf106"]) == 1
+        assert "launch loop" in capsys.readouterr().err
+
     def test_core_flag_on_all_experiment_subcommands(self):
         parser = build_parser()
         for argv in (["table1"], ["sweep"], ["dynamic"],
                      ["run", "spec.json"], ["sensitivity"], ["microbench"],
-                     ["atlas"], ["smoke"]):
+                     ["atlas"], ["smoke"], ["scenario", "vecadd"]):
             args = parser.parse_args(argv + ["--core", "vector"])
             assert args.core == "vector"
 
@@ -215,6 +253,27 @@ class TestSmokeCoreMatrix:
         assert report["cores"] == ["vector"]
         assert report["core_count"] == 1
         assert report["all_verified"] is True
+
+    def test_smoke_scenarios_json(self, capsys):
+        assert main(["smoke", "--scenarios", "--json",
+                     "--core", "fast"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"] == "gf106"
+        assert report["modes"] == ["partitioned", "shared"]
+        assert report["all_verified"] is True
+        assert report["all_attributed"] is True
+        for run in report["runs"]:
+            assert [k["workload"] for k in run["kernels"]] == [
+                "vecadd", "stencil"]
+            if run["mode"] == "partitioned":
+                assert [k["sm_mask"] for k in run["kernels"]] == [
+                    [0, 1], [2, 3]]
+
+    def test_smoke_scenarios_table(self, capsys):
+        assert main(["smoke", "--scenarios", "--core", "fast"]) == 0
+        output = capsys.readouterr().out
+        assert "Scenario smoke" in output
+        assert "partitioned" in output and "shared" in output
 
     def test_dynamic_output_roundtrips(self, tmp_path, capsys):
         from repro.experiments import RunSet

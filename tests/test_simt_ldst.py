@@ -52,6 +52,7 @@ class FakeWarp:
     def __init__(self, warp_id=0):
         self.warp_id = warp_id
         self.done = False
+        self.launch_id = 0
 
 
 def lane_addresses(base, count=32, stride=4):
