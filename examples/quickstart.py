@@ -55,7 +55,10 @@ def build_saxpy_kernel():
 class SaxpyWorkload(Workload):
     """SAXPY over ``n`` elements (quickstart's custom workload)."""
 
-    name = "saxpy"
+    # The bare name "saxpy" belongs to the packaged trace-bundle corpus
+    # (src/repro/workloads/bundles/saxpy/), so the custom demo workload
+    # registers under its own name.
+    name = "saxpy_demo"
 
     def __init__(self, n: int = 8192, a: float = 2.5, block_dim: int = 128,
                  seed: int = 0) -> None:
@@ -107,8 +110,9 @@ def main() -> None:
 
     # 2. The custom saxpy workload registered above runs through the very
     #    same front door — no orchestration code, just a spec.
-    record = session.run(Experiment.dynamic("gf100", "saxpy", n=8192))
-    print(f"custom workload 'saxpy' verified on {record.gpu.config.name!r}")
+    record = session.run(Experiment.dynamic("gf100", "saxpy_demo", n=8192))
+    print(f"custom workload 'saxpy_demo' verified on "
+          f"{record.gpu.config.name!r}")
     print(f"correct: {record.payload['verified']}")
     print(f"cycles: {record.total_cycles}, tracked fetches: "
           f"{record.payload['breakdown']['total_requests']}")
@@ -116,11 +120,11 @@ def main() -> None:
 
     # 3. Results persist as JSON, and reruns hit the session cache.
     text = record.to_json()
-    session.run(Experiment.dynamic("gf100", "saxpy", n=8192))  # cache hit
+    session.run(Experiment.dynamic("gf100", "saxpy_demo", n=8192))  # cache hit
     print(f"run record serializes to {len(text)} bytes of JSON")
     print(f"session cache: {session.cache_info()}")
 
-    unregister_workload("saxpy")  # leave the registry as we found it
+    unregister_workload("saxpy_demo")  # leave the registry as we found it
 
 
 if __name__ == "__main__":

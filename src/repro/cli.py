@@ -10,7 +10,18 @@ benchmarks all exercise the same code path.
     List the registered GPU configurations and their cache/latency
     headline numbers.
 ``repro workloads``
-    List the registered workloads.
+    List the registered workloads with their provenance (``builder``
+    for code-defined workloads, ``bundle`` for on-disk trace bundles);
+    ``--json`` emits the machine-readable list.
+``repro bundle``
+    Work with trace bundles — on-disk kernels in the documented
+    five-file format (see ``docs/kernel-bundles.md``): ``list`` the
+    registered corpus, ``describe`` or ``validate`` a bundle,
+    ``run`` one (by name, directory, or ``-`` for a stream on stdin),
+    and ``export`` a builder workload as a new bundle (a directory, or
+    a single stream on stdout for piping into ``repro bundle run -``).
+    The top-level ``--bundle-dir DIR`` option registers extra bundle
+    directories for any subcommand.
 ``repro table1``
     Reproduce Table I (static L1/L2/DRAM latencies per generation).
 ``repro sweep``
@@ -85,7 +96,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import (
@@ -115,12 +128,17 @@ from repro.sensitivity import (
     parse_axis_token,
 )
 from repro.utils.atomic import atomic_write_text
-from repro.utils.errors import ExperimentError, ReproError
+from repro.utils.errors import BundleError, ExperimentError, ReproError
 from repro.workloads import (
     WORKLOAD_REGISTRY,
     MicrobenchSpec,
     available_workloads,
     build_microbench_kernel,
+    bundle_workload_names,
+    export_workload,
+    tracebundle,
+    workload_class,
+    workload_source,
 )
 
 
@@ -158,10 +176,206 @@ def _cmd_configs(args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
-    rows = [[name, WORKLOAD_REGISTRY.describe(name)]
-            for name in available_workloads()]
-    print(format_table(["name", "description"], rows,
+    names = available_workloads()
+    if args.json:
+        report = {
+            "workloads": [
+                {
+                    "name": name,
+                    "source": workload_source(name),
+                    "description": WORKLOAD_REGISTRY.describe(name),
+                }
+                for name in names
+            ],
+            "workload_count": len(names),
+            "bundle_count": len(bundle_workload_names()),
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    rows = [[name, workload_source(name), WORKLOAD_REGISTRY.describe(name)]
+            for name in names]
+    print(format_table(["name", "source", "description"], rows,
                        title="Registered workloads"))
+    return 0
+
+
+def _load_bundle_target(target: str) -> "tracebundle.KernelBundle":
+    """Resolve a ``repro bundle`` target to a validated bundle.
+
+    ``-`` reads a bundle stream from stdin, an existing directory loads
+    from disk, and anything else must be a registered bundle workload
+    name (``repro bundle list``).
+    """
+    if target == "-":
+        files = tracebundle.read_bundle_stream(sys.stdin.read(),
+                                               origin="<stdin>")
+        return tracebundle.load_bundle_files(files, origin="<stdin>")
+    path = Path(target)
+    if path.is_dir():
+        return tracebundle.load_bundle(path)
+    if target in bundle_workload_names():
+        return workload_class(target).bundle
+    raise BundleError(
+        f"{target!r} is neither a registered bundle workload, a bundle "
+        f"directory, nor '-' (stdin stream); see 'repro bundle list'"
+    )
+
+
+def _warn_bundle_load_errors() -> None:
+    """Surface lenient-discovery failures ($REPRO_BUNDLE_PATH) on stderr."""
+    for directory, error in tracebundle.BUNDLE_LOAD_ERRORS:
+        print(f"warning: skipped bundle directory {directory}: {error}",
+              file=sys.stderr)
+
+
+def _cmd_bundle_list(args: argparse.Namespace) -> int:
+    names = bundle_workload_names()
+    if args.json:
+        report = {
+            "bundles": [
+                {
+                    "name": name,
+                    "source": workload_source(name),
+                    "grid_dim": workload_class(name).bundle.grid_dim,
+                    "block_dim": workload_class(name).bundle.block_dim,
+                    "instructions":
+                        len(workload_class(name).bundle.instructions),
+                    "fingerprint": workload_class(name).bundle.fingerprint,
+                    "description": workload_class(name).bundle.description,
+                }
+                for name in names
+            ],
+            "bundle_count": len(names),
+            "load_errors": [
+                {"directory": directory, "error": error}
+                for directory, error in tracebundle.BUNDLE_LOAD_ERRORS
+            ],
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for name in names:
+        bundle = workload_class(name).bundle
+        rows.append([name, workload_source(name), str(bundle.grid_dim),
+                     str(bundle.block_dim), str(len(bundle.instructions)),
+                     bundle.fingerprint[:12], bundle.description])
+    print(format_table(
+        ["name", "source", "grid", "block", "insts", "fingerprint",
+         "description"],
+        rows,
+        title=f"Registered trace bundles ({len(names)})",
+    ))
+    _warn_bundle_load_errors()
+    return 0
+
+
+def _cmd_bundle_describe(args: argparse.Namespace) -> int:
+    bundle = _load_bundle_target(args.bundle)
+    if args.json:
+        report = {
+            "name": bundle.name,
+            "description": bundle.description,
+            "grid_dim": bundle.grid_dim,
+            "block_dim": bundle.block_dim,
+            "program": bundle.program_name,
+            "instructions": len(bundle.instructions),
+            "registers": bundle.num_registers,
+            "predicates": bundle.num_predicates,
+            "shared_bytes": bundle.shared_bytes,
+            "local_bytes": bundle.local_bytes,
+            "image_bytes": bundle.image_bytes,
+            "memory_words": len(bundle.memory_words),
+            "expected_words": len(bundle.expected_words),
+            "tolerance": bundle.tolerance,
+            "params": {
+                name: {"type": bundle.param_types[name],
+                       "value": bundle.inputs[name]}
+                for name in bundle.param_types
+            },
+            "fingerprint": bundle.fingerprint,
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"kernel {bundle.name!r}: {bundle.description}")
+    print(f"launch: grid_dim={bundle.grid_dim} block_dim={bundle.block_dim} "
+          f"({bundle.grid_dim * bundle.block_dim} threads)")
+    print(f"program {bundle.program_name!r}: "
+          f"{len(bundle.instructions)} instruction(s), "
+          f"{bundle.num_registers} register(s), "
+          f"{bundle.num_predicates} predicate(s), "
+          f"{bundle.shared_bytes} shared byte(s), "
+          f"{bundle.local_bytes} local byte(s)")
+    print(f"image: {bundle.image_bytes} bytes at base "
+          f"{tracebundle.IMAGE_BASE}, "
+          f"{len(bundle.memory_words)} initialized word(s)")
+    print(f"verify: {len(bundle.expected_words)} expected word(s), "
+          f"tolerance {tracebundle.format_number(bundle.tolerance)}")
+    print(f"fingerprint: {bundle.fingerprint}")
+    if bundle.param_types:
+        print()
+        rows = [[name, bundle.param_types[name],
+                 tracebundle.format_number(bundle.inputs[name])]
+                for name in bundle.param_types]
+        print(format_table(["param", "type", "value"], rows))
+    if args.program:
+        print()
+        print(bundle.files["program.csv"], end="")
+    return 0
+
+
+def _cmd_bundle_validate(args: argparse.Namespace) -> int:
+    status = 0
+    for target in args.bundles:
+        try:
+            bundle = _load_bundle_target(target)
+        except ReproError as exc:
+            print(f"{target}: FAILED — {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{target}: ok — kernel {bundle.name!r}, "
+              f"{len(bundle.instructions)} instruction(s), "
+              f"fingerprint {bundle.fingerprint[:12]}")
+    return status
+
+
+def _cmd_bundle_run(args: argparse.Namespace) -> int:
+    target = args.bundle
+    if target == "-" or Path(target).is_dir():
+        bundle = _load_bundle_target(target)
+        origin = ("<stdin>" if target == "-"
+                  else str(Path(target).resolve()))
+        tracebundle.register_bundle(bundle, source=f"bundle:{origin}",
+                                    overwrite=True)
+        workload = bundle.name
+    elif target in bundle_workload_names():
+        workload = target
+    else:
+        raise BundleError(
+            f"{target!r} is neither a registered bundle workload, a "
+            f"bundle directory, nor '-' (stdin stream); see "
+            f"'repro bundle list'"
+        )
+    experiment = Experiment.dynamic(args.config, workload,
+                                    buckets=args.buckets)
+    record = args.session.run(experiment)
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_dynamic(record)
+    _write_output(args, [record])
+    return 0
+
+
+def _cmd_bundle_export(args: argparse.Namespace) -> int:
+    kwargs = parse_param_tokens(args.param or [])
+    files = export_workload(args.workload, config=args.config,
+                            bundle_name=args.name,
+                            workload_kwargs=kwargs or None)
+    if args.out:
+        path = tracebundle.write_bundle_dir(files, args.out)
+        print(f"wrote bundle to {path}")
+        return 0
+    sys.stdout.write(tracebundle.write_bundle_stream(files))
     return 0
 
 
@@ -568,6 +782,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'On Latency in GPU Throughput "
                     "Microarchitectures' (ISPASS 2015)",
     )
+    parser.add_argument(
+        "--bundle-dir", action="append", metavar="DIR",
+        help="extra kernel-bundle directory to register before the "
+             "command runs (repeatable; equivalent to listing DIR on "
+             "$REPRO_BUNDLE_PATH, which parallel workers inherit)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     configs = subparsers.add_parser("configs",
@@ -576,6 +795,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     workloads = subparsers.add_parser("workloads",
                                       help="list registered workloads")
+    workloads.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable workload list (name, source, "
+             "description) instead of a table")
     workloads.set_defaults(func=_cmd_workloads)
 
     def add_reference_core_flag(subparser: argparse.ArgumentParser) -> None:
@@ -598,6 +821,95 @@ def build_parser() -> argparse.ArgumentParser:
                  "scheme:target (e.g. memory:name); already-stored "
                  "results are served without simulating and fresh "
                  "results are written back, so interrupted runs resume")
+
+    bundle = subparsers.add_parser(
+        "bundle",
+        help="inspect, validate, run, and export on-disk kernel bundles",
+        description="Work with trace bundles: on-disk kernels in the "
+                    "five-file format (bundle.toml, program.csv, "
+                    "memory.csv, inputs.csv, expected.csv).  Bundles "
+                    "register as ordinary workloads, so every "
+                    "experiment subcommand accepts them by name; this "
+                    "group adds corpus maintenance on top.",
+        epilog="Bundle format reference: docs/kernel-bundles.md (the "
+               "normative spec: every file, every column, every "
+               "bundle.toml key, and the memory-image relocation "
+               "rules).")
+    bundle_sub = bundle.add_subparsers(dest="bundle_command", required=True)
+
+    bundle_list = bundle_sub.add_parser(
+        "list", help="list registered trace bundles (and any skipped "
+                     "$REPRO_BUNDLE_PATH directories)")
+    bundle_list.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable bundle list, including "
+             "fingerprints and lenient-discovery load errors")
+    bundle_list.set_defaults(func=_cmd_bundle_list)
+
+    bundle_describe = bundle_sub.add_parser(
+        "describe", help="print a bundle's launch geometry, program "
+                         "shape, image layout, params, and fingerprint")
+    bundle_describe.add_argument(
+        "bundle", help="registered bundle name, bundle directory, or "
+                       "'-' for a bundle stream on stdin")
+    bundle_describe.add_argument(
+        "--program", action="store_true",
+        help="also print the bundle's program.csv")
+    bundle_describe.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable description instead of text")
+    bundle_describe.set_defaults(func=_cmd_bundle_describe)
+
+    bundle_validate = bundle_sub.add_parser(
+        "validate", help="validate bundle directories (or '-' for a "
+                         "stream on stdin); exit 1 when any fails")
+    bundle_validate.add_argument(
+        "bundles", nargs="+", metavar="BUNDLE",
+        help="bundle directory, registered bundle name, or '-'")
+    bundle_validate.set_defaults(func=_cmd_bundle_validate)
+
+    bundle_run = bundle_sub.add_parser(
+        "run", help="run one bundle and print the Figure 1/2 analyses")
+    bundle_run.add_argument(
+        "bundle", help="registered bundle name, bundle directory, or "
+                       "'-' for a bundle stream on stdin (pipe from "
+                       "'repro bundle export')")
+    bundle_run.add_argument(
+        "--config", default="gf106",
+        help="configuration to run on (see 'repro configs')")
+    bundle_run.add_argument("--buckets", type=int, default=24)
+    bundle_run.add_argument(
+        "--json", action="store_true",
+        help="emit the full run record as JSON instead of the analyses")
+    bundle_run.add_argument("--output",
+                            help="save the run as a JSON run set")
+    add_reference_core_flag(bundle_run)
+    add_store_flag(bundle_run)
+    bundle_run.set_defaults(func=_cmd_bundle_run)
+
+    bundle_export = bundle_sub.add_parser(
+        "export", help="capture a builder workload as a bundle (stream "
+                       "on stdout, or a directory with --out)")
+    bundle_export.add_argument(
+        "workload", help="registered builder workload to export "
+                         "(see 'repro workloads')")
+    bundle_export.add_argument(
+        "--config", default="gf106",
+        help="configuration the capture run executes on; exact cores "
+             "make the result config-independent (default: gf106)")
+    bundle_export.add_argument(
+        "--name", metavar="BUNDLE_NAME",
+        help="kernel name recorded in the bundle (default: the "
+             "workload's own name)")
+    bundle_export.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="workload parameter for the captured run, e.g. --param "
+             "n=128 (repeatable)")
+    bundle_export.add_argument(
+        "--out", metavar="DIR",
+        help="write the five bundle files into DIR instead of "
+             "streaming to stdout")
+    bundle_export.set_defaults(func=_cmd_bundle_export)
 
     table1 = subparsers.add_parser("table1",
                                    help="reproduce Table I (static latencies)")
@@ -855,6 +1167,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _register_bundle_dirs(directories: List[str]) -> None:
+    """Register ``--bundle-dir`` directories and export them to workers.
+
+    Each directory is appended to ``$REPRO_BUNDLE_PATH`` *before* its
+    bundles register, so spawned parallel workers — which re-import
+    :mod:`repro.workloads` and rerun env discovery — reconstruct the
+    identical registry.  Unlike env discovery, an explicitly named
+    directory registers strictly: a broken bundle fails the command
+    with an error naming the offending file.
+    """
+    for directory in directories:
+        path = Path(directory)
+        if not path.is_dir():
+            raise BundleError(f"--bundle-dir {directory}: not a directory")
+        resolved = str(path.resolve())
+        entries = [entry for entry
+                   in os.environ.get(tracebundle.BUNDLE_PATH_ENV, "")
+                   .split(os.pathsep) if entry.strip()]
+        if resolved in entries:
+            continue  # already registered by import-time env discovery
+        os.environ[tracebundle.BUNDLE_PATH_ENV] = os.pathsep.join(
+            entries + [resolved])
+        tracebundle.discover_bundles(resolved, source=f"bundle:{resolved}",
+                                     strict=True)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -869,6 +1207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         core = "reference"
     try:
+        _register_bundle_dirs(args.bundle_dir or [])
         args.session = Session(
             core=core,
             store=getattr(args, "store", None))

@@ -46,6 +46,7 @@ from repro.experiments.smoke import (
     run_smoke,
     scenario_smoke_experiments,
     smoke_experiments,
+    smoke_workloads,
 )
 from repro.experiments.spec import (
     EXPERIMENT_KINDS,
@@ -92,6 +93,7 @@ __all__ = [
     "scenario_launch_to_dict",
     "scenario_smoke_experiments",
     "smoke_experiments",
+    "smoke_workloads",
     "sweep_to_dict",
     "table_to_dict",
     "unregister_config",

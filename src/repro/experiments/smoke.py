@@ -24,7 +24,11 @@ from repro.experiments.results import RunRecord
 from repro.experiments.spec import Experiment
 from repro.gpu import available_configs
 from repro.utils.errors import ExperimentError
-from repro.workloads import available_workloads
+from repro.workloads import (
+    available_workloads,
+    bundle_workload_names,
+    workload_source,
+)
 
 #: Tiny per-workload parameters for the smoke cross product.  Keep these
 #: as small as each kernel allows: the smoke matrix runs every entry on
@@ -51,8 +55,16 @@ SMOKE_BUCKETS = 4
 
 def check_registry_coverage() -> None:
     """Raise :class:`ExperimentError` when :data:`SMOKE_PARAMS` and the
-    workload registry have drifted apart."""
-    registered = set(available_workloads())
+    workload registry have drifted apart.
+
+    Only *builder* workloads need a :data:`SMOKE_PARAMS` entry: trace
+    bundles fix their own launch geometry and inputs on disk, take no
+    constructor parameters, and join the smoke grid automatically (see
+    :func:`smoke_workloads`) — so a user bundle directory can never
+    trip the drift check.
+    """
+    registered = (set(available_workloads())
+                  - set(bundle_workload_names()))
     missing = registered - set(SMOKE_PARAMS)
     if missing:
         raise ExperimentError(
@@ -76,15 +88,33 @@ def check_registry_coverage() -> None:
 SMOKE_CORES = ("fast", "vector")
 
 
+def smoke_workloads() -> Dict[str, Dict[str, Any]]:
+    """Workload name -> smoke parameters for the whole smoke grid.
+
+    Every builder workload contributes its :data:`SMOKE_PARAMS` entry;
+    every registered trace bundle contributes itself with no parameters
+    (a bundle *is* its launch: geometry, inputs, and expected outputs
+    all live in its files).  Because registered bundles join here
+    automatically, ``repro smoke`` matrixes over the packaged corpus —
+    and over any user corpus on ``$REPRO_BUNDLE_PATH`` — with outputs
+    verified against each bundle's ``expected.csv``.
+    """
+    check_registry_coverage()
+    grid: Dict[str, Dict[str, Any]] = dict(SMOKE_PARAMS)
+    for name in bundle_workload_names():
+        grid[name] = {}
+    return grid
+
+
 def smoke_experiments() -> Dict[tuple, Experiment]:
     """The smoke grid: one tiny dynamic experiment per workload x config."""
-    check_registry_coverage()
     grid: Dict[tuple, Experiment] = {}
-    for workload in sorted(SMOKE_PARAMS):
+    workloads = smoke_workloads()
+    for workload in sorted(workloads):
         for config in available_configs():
             grid[(workload, config)] = Experiment.dynamic(
                 config, workload, label="smoke",
-                buckets=SMOKE_BUCKETS, **SMOKE_PARAMS[workload])
+                buckets=SMOKE_BUCKETS, **workloads[workload])
     return grid
 
 
@@ -134,19 +164,23 @@ def run_smoke(session, jobs: Optional[int] = 1,
                 "workload": workload,
                 "config": config,
                 "core": core,
+                "source": workload_source(workload),
                 "cycles": record.total_cycles,
                 "instructions": sum(launch.get("instructions", 0)
                                     for launch in record.launches),
                 "launches": len(record.launches),
                 "verified": bool(record.payload.get("verified", False)),
             })
-    workloads = sorted(SMOKE_PARAMS)
+    workloads = sorted({workload for workload, _ in grid})
+    bundles = sorted(bundle_workload_names())
     configs = available_configs()
     return {
         "workloads": workloads,
+        "bundle_workloads": bundles,
         "configs": configs,
         "cores": list(cores),
         "workload_count": len(workloads),
+        "bundle_count": len(bundles),
         "config_count": len(configs),
         "core_count": len(cores),
         "total_runs": len(report_runs),

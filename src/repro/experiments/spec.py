@@ -576,16 +576,56 @@ class Experiment:
         """Canonical string identity used for session result caching."""
         return self.to_json()
 
+    def _workload_fingerprints(self) -> List[Tuple[str, str]]:
+        """Content fingerprints of the referenced data-defined workloads.
+
+        Trace-bundle workloads carry their bundle's content hash as a
+        ``content_fingerprint`` class attribute; an experiment's identity
+        must include it, because two byte-different bundles can share a
+        registered name (e.g. a user bundle edited in place) while the
+        canonical JSON spec — which only stores the name — stays equal.
+        Builder workloads are code, already covered by the store's
+        ``code_version``, and contribute nothing here.  Unregistered
+        names also contribute nothing, so specs stay hashable before
+        their workloads exist.
+        """
+        names = set()
+        if self.workload:
+            names.add(self.workload)
+        if self.kind == "scenario":
+            names.update(entry["workload"]
+                         for entry in self.params.get("kernels", []))
+        fingerprints: List[Tuple[str, str]] = []
+        if names:
+            from repro.workloads import (  # deferred: avoid cycle
+                WORKLOAD_REGISTRY,
+            )
+
+            for name in sorted(names):
+                if name not in WORKLOAD_REGISTRY:
+                    continue
+                fingerprint = getattr(WORKLOAD_REGISTRY.get(name),
+                                      "content_fingerprint", None)
+                if fingerprint:
+                    fingerprints.append((name, str(fingerprint)))
+        return fingerprints
+
     def spec_hash(self) -> str:
         """Short content hash of the canonical spec.
 
         Two experiments have the same hash iff their canonical JSON forms
-        are identical, which makes the hash a compact, process-safe key:
-        parallel workers tag the records they return with it and the
-        parent session merges them into its cache without having to ship
-        the full spec back across the pipe.
+        — plus the content fingerprints of any trace-bundle workloads
+        they reference (see :meth:`_workload_fingerprints`) — are
+        identical.  That makes the hash a compact, process-safe key:
+        parallel workers tag the records they return with it, the parent
+        session merges them into its cache without shipping the full
+        spec back across the pipe, and the persistent store uses it to
+        serve cached results only for byte-identical bundle content,
+        independent of where on disk a bundle lives.
         """
         digest = hashlib.sha256(self.cache_key().encode("utf-8"))
+        for name, fingerprint in self._workload_fingerprints():
+            digest.update(f"\0{name}={fingerprint}".encode("utf-8"))
         return digest.hexdigest()[:16]
 
     def describe(self) -> str:

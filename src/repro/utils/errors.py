@@ -32,6 +32,15 @@ class RegistryError(ReproError, KeyError):
         return Exception.__str__(self)
 
 
+class BundleError(ReproError):
+    """A trace bundle (on-disk kernel) is malformed or cannot be exported.
+
+    Messages name the offending file — and, where possible, the line and
+    column — so a bundle author can fix the artifact without reading the
+    loader's source.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment specification is invalid or a run failed."""
 

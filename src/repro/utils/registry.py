@@ -57,11 +57,19 @@ def _default_name(obj: Any) -> Optional[str]:
 
 @dataclass(frozen=True)
 class RegistryEntry:
-    """One registered object plus its metadata."""
+    """One registered object plus its metadata.
+
+    ``source`` records where the entry came from (e.g. ``"builder"`` for
+    code-defined workloads, ``"bundle"`` for the packaged trace-bundle
+    corpus, ``"bundle:<dir>"`` for user bundle directories) so listings
+    can audit how a registry grew.  ``None`` means the registrant did not
+    say.
+    """
 
     name: str
     obj: Any
     description: str
+    source: Optional[str] = None
 
 
 class Registry:
@@ -87,6 +95,7 @@ class Registry:
         *,
         name: Optional[str] = None,
         description: Optional[str] = None,
+        source: Optional[str] = None,
         overwrite: bool = False,
     ) -> Callable[[Any], Any]:
         """Register ``obj`` under ``name``; usable as a decorator.
@@ -111,7 +120,7 @@ class Registry:
         if obj is None:
             def decorator(target: Any) -> Any:
                 self.register(target, name=name, description=description,
-                              overwrite=overwrite)
+                              source=source, overwrite=overwrite)
                 return target
             return decorator
         resolved = name if name is not None else _default_name(obj)
@@ -129,6 +138,7 @@ class Registry:
             obj=obj,
             description=(description if description is not None
                          else _default_description(obj)),
+            source=source,
         )
         return obj
 

@@ -46,16 +46,21 @@ WORKLOAD_REGISTRY: Registry = Registry("workload")
 
 
 def register_workload(workload_cls=None, *, name=None, description=None,
-                      overwrite=False):
+                      source="builder", overwrite=False):
     """Register a :class:`Workload` subclass (decorator-friendly).
 
     ``name`` defaults to the class's ``name`` attribute and ``description``
     to its first docstring line (falling back to the class name for
-    undocumented classes).  Registering an existing name raises
-    :class:`~repro.utils.errors.RegistryError` unless ``overwrite=True``.
+    undocumented classes).  ``source`` records provenance (shown by
+    ``repro workloads``): ``"builder"`` for code-defined workloads — the
+    default — versus ``"bundle"``/``"bundle:<dir>"`` for trace bundles
+    registered by :mod:`repro.workloads.tracebundle`.  Registering an
+    existing name raises :class:`~repro.utils.errors.RegistryError`
+    unless ``overwrite=True``.
     """
     return WORKLOAD_REGISTRY.register(workload_cls, name=name,
                                       description=description,
+                                      source=source,
                                       overwrite=overwrite)
 
 
@@ -78,10 +83,42 @@ MicrobenchMLP4 = register_microbench(
                 "step (MLP/MSHR stress)",
 )
 
+# Trace bundles: the packaged corpus registers strictly (a broken
+# shipped bundle is a bug), user directories from $REPRO_BUNDLE_PATH
+# register leniently (failures land in
+# tracebundle.BUNDLE_LOAD_ERRORS).  Import-time discovery means spawned
+# parallel workers — which inherit the environment and re-import this
+# package — reconstruct the identical registry.
+from repro.workloads import tracebundle  # noqa: E402  (needs the registry)
+from repro.workloads.tracebundle import (  # noqa: E402
+    BUNDLE_LOAD_ERRORS,
+    KernelBundle,
+    TraceWorkload,
+    export_workload,
+    load_bundle,
+    register_bundle,
+)
+
+tracebundle.discover_bundles(tracebundle.builtin_bundle_dir(),
+                             source="bundle", strict=True)
+tracebundle.discover_env_bundles()
+
 
 def available_workloads() -> List[str]:
     """Names of all registered workloads."""
     return WORKLOAD_REGISTRY.names()
+
+
+def workload_source(name: str) -> str:
+    """Provenance of a registered workload (``"builder"``, ``"bundle"``,
+    or ``"bundle:<dir>"`` for user bundle directories)."""
+    return WORKLOAD_REGISTRY.entry(name).source or "builder"
+
+
+def bundle_workload_names() -> List[str]:
+    """Names of registered workloads that came from trace bundles."""
+    return [name for name in WORKLOAD_REGISTRY.names()
+            if workload_source(name).startswith("bundle")]
 
 
 def workload_class(name: str):
@@ -101,8 +138,10 @@ def create_workload(name: str, **kwargs) -> Workload:
 
 __all__ = [
     "BFSWorkload",
+    "BUNDLE_LOAD_ERRORS",
     "CSRGraph",
     "DEFAULT_UNROLL",
+    "KernelBundle",
     "LaunchSpec",
     "MLP4_SPEC",
     "MatMulWorkload",
@@ -113,11 +152,13 @@ __all__ = [
     "ReductionWorkload",
     "SpMVWorkload",
     "StencilWorkload",
+    "TraceWorkload",
     "UNVISITED",
     "VecAddWorkload",
     "WORKLOAD_REGISTRY",
     "Workload",
     "available_workloads",
+    "bundle_workload_names",
     "build_bfs_kernel",
     "build_global_chase_kernel",
     "build_local_chase_kernel",
@@ -128,15 +169,20 @@ __all__ = [
     "build_stencil_kernel",
     "build_vecadd_kernel",
     "create_workload",
+    "export_workload",
     "grid_graph",
+    "load_bundle",
     "microbench_expected",
     "microbench_ring",
     "random_graph",
     "reference_bfs",
+    "register_bundle",
     "register_microbench",
     "register_workload",
     "setup_pointer_chain",
+    "tracebundle",
     "unregister_workload",
     "workload_class",
     "workload_description",
+    "workload_source",
 ]

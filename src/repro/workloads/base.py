@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.gpu.gpu import GPU, KernelResult
 from repro.isa.program import Program
@@ -19,11 +19,21 @@ from repro.isa.program import Program
 
 @dataclass
 class LaunchSpec:
-    """Launch geometry and parameter values for one kernel launch."""
+    """Launch geometry and parameter values for one kernel launch.
+
+    ``address_params`` names the entries of ``params`` whose values are
+    global-memory addresses (buffer bases) rather than plain scalars.
+    The simulator itself does not care — parameters are just numbers —
+    but tooling that relocates or serializes a launch does: the bundle
+    exporter (:mod:`repro.workloads.tracebundle`) rebases exactly these
+    parameters against the memory image so an exported kernel stays
+    correct wherever its image lands.
+    """
 
     grid_dim: int
     block_dim: int
     params: Dict[str, float] = field(default_factory=dict)
+    address_params: Tuple[str, ...] = ()
 
 
 class Workload(ABC):

@@ -159,6 +159,7 @@ class PointerChaseWorkload(Workload):
                 "n_accesses": self.n_accesses,
                 "sink": self._sink,
             },
+            address_params=("start", "sink"),
         )
 
     def expected_final_pointer(self) -> int:

@@ -111,6 +111,7 @@ class SpMVWorkload(Workload):
                 "x": x_dev,
                 "y": y_dev,
             },
+            address_params=("row_offsets", "col_indices", "values", "x", "y"),
         )
 
     def verify(self, gpu: GPU) -> bool:

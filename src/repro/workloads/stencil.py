@@ -78,6 +78,7 @@ class StencilWorkload(Workload):
             grid_dim=grid_dim,
             block_dim=self.block_dim,
             params={"n": self.n, "input": input_dev, "output": output_dev},
+            address_params=("input", "output"),
         )
 
     def verify(self, gpu: GPU) -> bool:

@@ -422,6 +422,7 @@ class MicrobenchWorkload(Workload):
             grid_dim=spec.ctas,
             block_dim=spec.block_dim,
             params={"base": base, "out": self._out},
+            address_params=("base", "out"),
         )
 
     def verify(self, gpu: GPU) -> bool:

@@ -68,6 +68,7 @@ class VecAddWorkload(Workload):
             grid_dim=grid_dim,
             block_dim=self.block_dim,
             params={"n": self.n, "a": a_dev, "b": b_dev, "c": c_dev},
+            address_params=("a", "b", "c"),
         )
 
     def verify(self, gpu: GPU) -> bool:

@@ -227,6 +227,8 @@ class TestSmokeCoreMatrix:
 
         monkeypatch.setattr(smoke_module, "SMOKE_PARAMS",
                             {"vecadd": {"n": 96, "block_dim": 64}})
+        monkeypatch.setattr(smoke_module, "bundle_workload_names",
+                            lambda: [])
         monkeypatch.setattr(smoke_module, "check_registry_coverage",
                             lambda: None)
         assert main(["smoke", "--json"]) == 0
@@ -246,6 +248,8 @@ class TestSmokeCoreMatrix:
 
         monkeypatch.setattr(smoke_module, "SMOKE_PARAMS",
                             {"vecadd": {"n": 96, "block_dim": 64}})
+        monkeypatch.setattr(smoke_module, "bundle_workload_names",
+                            lambda: [])
         monkeypatch.setattr(smoke_module, "check_registry_coverage",
                             lambda: None)
         assert main(["smoke", "--json", "--core", "vector"]) == 0

@@ -1,0 +1,210 @@
+"""Offline documentation checks.
+
+Two families of tests, both network-free (CI runs them in the ``docs``
+job, and they are part of the tier-1 suite):
+
+* **Link integrity** — every relative markdown link in the user-facing
+  docs (README, CONTRIBUTING, ``docs/*.md``) resolves to an existing
+  file, and anchored links (``file.md#heading``) point at a heading
+  that actually exists in the target.
+
+* **Spec drift** — ``docs/kernel-bundles.md`` is the *normative*
+  bundle-format reference, so its tables are diffed against the loader
+  constants in ``repro.workloads.tracebundle``: every ``bundle.toml``
+  section/key the loader parses must be documented, every documented
+  key must be parsed (no doc-only keys), and the CSV column sets,
+  parameter types, opcode list, and stream-envelope header must match
+  the code exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.isa import CmpOp, Opcode
+from repro.isa.operands import SPECIAL_REGISTER_NAMES
+from repro.workloads import tracebundle
+
+ROOT = Path(__file__).resolve().parent.parent
+BUNDLE_DOC = ROOT / "docs" / "kernel-bundles.md"
+
+DOC_FILES = sorted(
+    [ROOT / "README.md", ROOT / "CONTRIBUTING.md"]
+    + list((ROOT / "docs").glob("*.md"))
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def _heading_anchor(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    prose = _CODE_FENCE_RE.sub("", path.read_text())
+    return {_heading_anchor(h) for h in _HEADING_RE.findall(prose)}
+
+
+def _relative_links(path: Path):
+    prose = _CODE_FENCE_RE.sub("", path.read_text())
+    for target in _LINK_RE.findall(prose):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+class TestLinks:
+    def test_doc_files_exist(self):
+        assert BUNDLE_DOC in DOC_FILES
+        assert ROOT / "docs" / "architecture.md" in DOC_FILES
+        assert len(DOC_FILES) >= 4
+
+    @pytest.mark.parametrize(
+        "doc", DOC_FILES, ids=[p.name for p in DOC_FILES]
+    )
+    def test_relative_links_resolve(self, doc):
+        broken = []
+        for target in _relative_links(doc):
+            rel, _, anchor = target.partition("#")
+            dest = (doc.parent / rel).resolve() if rel else doc
+            if not dest.is_relative_to(ROOT):
+                # GitHub web-UI paths (e.g. the ../../actions/ CI
+                # badge) are not repository files.
+                continue
+            if not dest.exists():
+                broken.append(f"{target}: no such file {dest}")
+            elif anchor and dest.suffix == ".md":
+                if anchor not in _anchors(dest):
+                    broken.append(f"{target}: no heading #{anchor}")
+        assert not broken, f"{doc.name}: broken links: {broken}"
+
+    def test_readme_points_at_the_spec_and_the_map(self):
+        readme = (ROOT / "README.md").read_text()
+        assert "docs/kernel-bundles.md" in readme
+        assert "docs/architecture.md" in readme
+
+
+def _spec_table_rows():
+    """(section, key) pairs from the bundle.toml table in the spec.
+
+    Rows look like ``| (top level) | `format` | ...`` or
+    ``| `[kernel]` | `name` | ...``; the free-form ``[params]`` row has
+    an italicized (non-backticked) key cell and is skipped here.
+    """
+    rows = []
+    for line in BUNDLE_DOC.read_text().splitlines():
+        if not line.startswith("|"):
+            continue
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        if len(cells) < 2 or not cells[1].startswith("`"):
+            continue
+        first = cells[0]
+        if first == "(top level)":
+            rows.append(("", cells[1].strip("`")))
+        elif first.startswith("`[") and first.endswith("]`"):
+            rows.append((first.strip("`").strip("[]"), cells[1].strip("`")))
+    return rows
+
+
+class TestBundleSpecDrift:
+    """docs/kernel-bundles.md must match the loader exactly."""
+
+    def test_toml_keys_documented_and_parsed(self):
+        documented = set(_spec_table_rows())
+        parsed = {
+            (section, key)
+            for section, keys in tracebundle.BUNDLE_TOML_KEYS.items()
+            for key in keys
+        }
+        assert documented == parsed, (
+            f"doc-only keys: {sorted(documented - parsed)}; "
+            f"undocumented keys: {sorted(parsed - documented)}"
+        )
+
+    def test_free_form_sections_documented(self):
+        # Sections with no fixed key set ([params]) still need a row.
+        text = BUNDLE_DOC.read_text()
+        for section, keys in tracebundle.BUNDLE_TOML_KEYS.items():
+            if not keys:
+                assert f"`[{section}]`" in text, section
+
+    def test_every_bundle_file_documented(self):
+        text = BUNDLE_DOC.read_text()
+        for filename in tracebundle.BUNDLE_FILES:
+            assert f"`{filename}`" in text, filename
+
+    @pytest.mark.parametrize(
+        ("columns", "names"),
+        [
+            ("program", tracebundle.PROGRAM_COLUMNS),
+            ("memory", tracebundle.MEMORY_COLUMNS),
+            ("inputs", tracebundle.INPUTS_COLUMNS),
+        ],
+    )
+    def test_csv_columns_documented(self, columns, names):
+        text = BUNDLE_DOC.read_text()
+        for name in names:
+            assert f"`{name}`" in text, f"{columns} column {name}"
+
+    def test_param_types_documented(self):
+        text = BUNDLE_DOC.read_text()
+        for kind in tracebundle.PARAM_TYPES:
+            assert f'`"{kind}"`' in text, kind
+
+    def test_opcodes_documented(self):
+        prose = _CODE_FENCE_RE.sub("", BUNDLE_DOC.read_text())
+        tokens = set(re.findall(r"[\w]+", prose))
+        missing = [op.value for op in Opcode if op.value not in tokens]
+        assert not missing, f"undocumented opcodes: {missing}"
+
+    def test_modifiers_and_specials_documented(self):
+        prose = _CODE_FENCE_RE.sub("", BUNDLE_DOC.read_text())
+        tokens = set(re.findall(r"[\w]+", prose))
+        for cmp_op in CmpOp:
+            assert cmp_op.value in tokens, cmp_op
+        for name in SPECIAL_REGISTER_NAMES:
+            assert name in tokens, name
+
+    def test_pinned_literals(self):
+        text = BUNDLE_DOC.read_text()
+        assert f"`format = {tracebundle.FORMAT_VERSION}`" in text
+        assert tracebundle.STREAM_HEADER in text
+        assert str(tracebundle.IMAGE_BASE) in text
+        assert "$REPRO_BUNDLE_PATH" in text
+        assert tracebundle.BUNDLE_PATH_ENV == "REPRO_BUNDLE_PATH"
+
+    def test_worked_example_matches_the_corpus(self):
+        # The saxpy excerpts in the spec are real file contents, not
+        # illustrative pseudo-data.
+        bundle = tracebundle.load_bundle(
+            tracebundle.builtin_bundle_dir() / "saxpy"
+        )
+        text = BUNDLE_DOC.read_text()
+        for line in bundle.files["inputs.csv"].splitlines():
+            assert line in text, f"inputs.csv line {line!r} not in spec"
+        program_lines = [
+            line
+            for line in bundle.files["program.csv"].splitlines()
+            if line and not line.lstrip().startswith("#")
+        ]
+        for line in program_lines[:6]:  # header + first five rows
+            assert line in text, f"program.csv line {line!r} not in spec"
+
+
+class TestCliHelp:
+    def test_bundle_help_points_at_the_spec(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bundle", "--help"])
+        assert excinfo.value.code == 0
+        assert "docs/kernel-bundles.md" in capsys.readouterr().out

@@ -31,7 +31,7 @@ class TestExamples:
         run_example("quickstart.py", [])
         output = capsys.readouterr().out
         assert "correct: True" in output
-        assert "custom workload 'saxpy' verified" in output
+        assert "custom workload 'saxpy_demo' verified" in output
         assert "session cache" in output
 
     def test_bfs_latency_breakdown_runs_small(self, capsys):

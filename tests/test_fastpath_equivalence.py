@@ -70,6 +70,15 @@ WORKLOAD_PARAMS = {
                    "footprint": 4096, "ctas": 2, "warps_per_cta": 2,
                    "iters": 12, "divergence": 0.5},
     "microbench_mlp4": {"footprint": 8192, "ctas": 2, "iters": 12},
+    # Trace bundles fix their geometry and inputs on disk and take no
+    # constructor parameters.
+    "evenodd": {},
+    "gather": {},
+    "reverse": {},
+    "saturate": {},
+    "saxpy": {},
+    "stencil_bundle": {},
+    "vecadd_bundle": {},
 }
 
 

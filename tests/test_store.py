@@ -664,6 +664,8 @@ class TestStoreCLI:
 
         monkeypatch.setattr(smoke_module, "SMOKE_PARAMS",
                             {"vecadd": {"n": 96, "block_dim": 64}})
+        monkeypatch.setattr(smoke_module, "bundle_workload_names",
+                            lambda: [])
         monkeypatch.setattr(smoke_module, "check_registry_coverage",
                             lambda: None)
         store_path = str(tmp_path / "smoke.sqlite")

@@ -303,8 +303,11 @@ class TestSmoke:
         check_registry_coverage()
 
     def test_smoke_grid_covers_cross_product(self):
+        from repro.experiments import smoke_workloads
+
         grid = smoke_experiments()
-        assert len(grid) == len(SMOKE_PARAMS) * len(available_configs())
+        assert len(grid) == len(smoke_workloads()) * len(available_configs())
+        assert len(smoke_workloads()) > len(SMOKE_PARAMS)  # + trace bundles
         workloads = {workload for workload, _config in grid}
         assert workloads == set(available_workloads())
 

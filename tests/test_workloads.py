@@ -74,7 +74,8 @@ class TestWorkloadRegistry:
         names = available_workloads()
         assert "bfs" in names and "vecadd" in names
         assert "microbench" in names and "microbench_mlp4" in names
-        assert len(names) == 9
+        assert "saxpy" in names  # packaged trace-bundle corpus
+        assert len(names) == 16
 
     def test_create_by_name(self):
         workload = create_workload("vecadd", n=64)
