@@ -20,6 +20,7 @@ from benchmarks.conftest import save_and_print
 from repro.analysis import comparison_table
 from repro.experiments import Session
 from repro.sensitivity import LatencyToleranceAtlas
+from repro.simt.vector import ESTIMATOR_CYCLE_ERROR_BOUND
 
 #: The acceptance sweep: ILP 1-8 against DRAM timings scaled 1-8x on the
 #: Fermi GF106 configuration (16 cells).
@@ -32,13 +33,23 @@ VECTOR_ATLAS = LatencyToleranceAtlas(
     params={"iters": 32},
 )
 
-#: Documented estimator cycle-error bound (see README and
-#: tests/test_fastpath_equivalence.py).
-ESTIMATOR_CYCLE_ERROR_BOUND = 0.10
-
-
 def run_atlas(core):
     return VECTOR_ATLAS.run(session=Session(cache=False, core=core))
+
+
+@pytest.mark.benchmark(group="vector-core")
+def test_fast_atlas_baseline(benchmark):
+    """The fast core on the same atlas, as its own gated benchmark.
+
+    Timing the fast run as a first-class benchmark entry (rather than
+    only inline inside the vector benchmark) lets check_regression.py
+    gate the vector-vs-fast *ratio* from baseline.json: both means come
+    from the same run on the same machine, so the ratio gate is immune
+    to runner-speed drift that the absolute gates must tolerate.
+    """
+    result = benchmark.pedantic(lambda: run_atlas("fast"),
+                                rounds=1, iterations=1)
+    assert len(result.rows) == len(VECTOR_ATLAS.values)
 
 
 @pytest.mark.benchmark(group="vector-core")

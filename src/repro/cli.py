@@ -98,6 +98,7 @@ import argparse
 import json
 import os
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Optional
 
@@ -119,7 +120,12 @@ from repro.experiments import (
     run_smoke,
 )
 from repro.gpu import available_configs, get_config
-from repro.simt.backend import CORE_BACKENDS, available_core_backends
+from repro.simt.backend import (
+    CORE_BACKENDS,
+    available_core_backends,
+    parse_core_spec,
+    resolve_reference_core,
+)
 from repro.sensitivity import (
     TRANSFORM_REGISTRY,
     LatencyToleranceAtlas,
@@ -128,7 +134,12 @@ from repro.sensitivity import (
     parse_axis_token,
 )
 from repro.utils.atomic import atomic_write_text
-from repro.utils.errors import BundleError, ExperimentError, ReproError
+from repro.utils.errors import (
+    BundleError,
+    ConfigurationError,
+    ExperimentError,
+    ReproError,
+)
 from repro.workloads import (
     WORKLOAD_REGISTRY,
     MicrobenchSpec,
@@ -750,6 +761,11 @@ def _cmd_transforms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_core_option(option) -> str:
+    default = "adaptive" if option.default is None else repr(option.default)
+    return f"{option.name}:{option.type.__name__}={default}"
+
+
 def _cmd_cores(args: argparse.Namespace) -> int:
     if args.json:
         report = {
@@ -758,6 +774,15 @@ def _cmd_cores(args: argparse.Namespace) -> int:
                     "name": name,
                     "exact": CORE_BACKENDS.get(name).exact,
                     "description": CORE_BACKENDS.describe(name),
+                    "options": [
+                        {
+                            "name": option.name,
+                            "type": option.type.__name__,
+                            "default": option.default,
+                            "description": option.description,
+                        }
+                        for option in CORE_BACKENDS.get(name).options
+                    ],
                 }
                 for name in available_core_backends()
             ],
@@ -768,9 +793,11 @@ def _cmd_cores(args: argparse.Namespace) -> int:
     rows = []
     for name in available_core_backends():
         backend = CORE_BACKENDS.get(name)
-        rows.append([name, "yes" if backend.exact else "no",
+        options = ", ".join(_format_core_option(option)
+                            for option in backend.options) or "-"
+        rows.append([name, "yes" if backend.exact else "no", options,
                      CORE_BACKENDS.describe(name)])
-    print(format_table(["name", "exact", "description"], rows,
+    print(format_table(["name", "exact", "options", "description"], rows,
                        title="Registered simulation-core backends"))
     return 0
 
@@ -803,8 +830,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_reference_core_flag(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
-            "--core", metavar="NAME",
-            help="simulation-core backend to run on (see 'repro cores'); "
+            "--core", metavar="NAME[:KEY=VALUE,...]",
+            help="simulation-core backend to run on, optionally with "
+                 "backend options, e.g. 'estimator:time_quantum=16' "
+                 "(see 'repro cores' for backends and their options); "
                  "reference/fast/vector are byte-identical and share "
                  "stored results, estimator is approximate and stored "
                  "separately (default: each configuration's own choice, "
@@ -1197,19 +1226,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    core = getattr(args, "core", None)
-    if getattr(args, "reference_core", False):
-        print("warning: --reference-core is deprecated; use "
-              "--core reference", file=sys.stderr)
-        if core is not None and core != "reference":
-            print(f"error: --core {core} conflicts with --reference-core",
-                  file=sys.stderr)
+    core_spec = getattr(args, "core", None)
+    core: Optional[str] = None
+    core_options = {}
+    if core_spec:
+        try:
+            core, core_options = parse_core_spec(core_spec)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
-        core = "reference"
+    if getattr(args, "reference_core", False):
+        conflict: Optional[ConfigurationError] = None
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            try:
+                core = resolve_reference_core(
+                    core, True,
+                    owner="--reference-core",
+                    replacement="--core reference",
+                    conflict_error=ConfigurationError,
+                    stacklevel=2,
+                )
+            except ConfigurationError as exc:
+                conflict = exc
+        for warning in caught:
+            print(f"warning: {warning.message}", file=sys.stderr)
+        if conflict is not None:
+            print(f"error: --core {core} conflicts with --reference-core "
+                  f"({conflict})", file=sys.stderr)
+            return 2
     try:
         _register_bundle_dirs(args.bundle_dir or [])
         args.session = Session(
             core=core,
+            core_options=core_options,
             store=getattr(args, "store", None))
         result = args.func(args)
         _report_counters(args)

@@ -62,6 +62,7 @@ from typing import (
 from repro.experiments.results import RunRecord, RunSet, light_artifacts
 from repro.experiments.spec import Experiment
 from repro.gpu.config import GPUConfig
+from repro.simt.backend import resolve_reference_core
 from repro.utils.errors import ExperimentError
 
 #: The per-process session owned by each pool worker.  Module-level so the
@@ -91,12 +92,14 @@ def _start_method() -> str:
 
 
 def _init_worker(configs: Dict[str, GPUConfig],
-                 core: Optional[str] = None) -> None:
+                 core: Optional[str] = None,
+                 core_options: Optional[Dict[str, Any]] = None) -> None:
     """Pool initializer: build this worker's long-lived session once."""
     global _WORKER_SESSION
     from repro.experiments.session import Session  # deferred: avoid cycle
 
-    _WORKER_SESSION = Session(cache=True, configs=configs, core=core)
+    _WORKER_SESSION = Session(cache=True, configs=configs, core=core,
+                              core_options=core_options)
 
 
 def _run_in_worker(
@@ -161,6 +164,10 @@ class ParallelExecutor:
     reference_core:
         **Deprecated** alias for ``core="reference"``; emits a
         :class:`DeprecationWarning`.
+    core_options:
+        Backend-specific construction options propagated into every
+        worker's session alongside ``core`` (see
+        :class:`~repro.experiments.session.Session`).
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -168,7 +175,8 @@ class ParallelExecutor:
                  mp_context: Union[str, Any, None] = None,
                  core: Optional[str] = None,
                  reference_core: bool = False,
-                 core_backend: Optional[str] = None) -> None:
+                 core_backend: Optional[str] = None,
+                 core_options: Optional[Mapping[str, Any]] = None) -> None:
         if jobs is not None and jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         if core_backend is not None:
@@ -178,23 +186,17 @@ class ParallelExecutor:
                     f"core_backend={core_backend!r}"
                 )
             core = core_backend
-        if reference_core:
-            import warnings
-
-            warnings.warn(
-                "ParallelExecutor(reference_core=True) is deprecated; use "
-                "core='reference'",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if core is not None and core != "reference":
-                raise ExperimentError(
-                    f"core={core!r} conflicts with reference_core=True"
-                )
-            core = "reference"
+        core = resolve_reference_core(
+            core, reference_core,
+            owner="ParallelExecutor(reference_core=True)",
+            replacement="core='reference'",
+            conflict_error=ExperimentError,
+            stacklevel=3,
+        )
         self.jobs = jobs or default_jobs()
         self._configs = dict(configs or {})
         self._core = core
+        self._core_options = dict(core_options or {})
         if mp_context is None:
             mp_context = _start_method()
         if isinstance(mp_context, str):
@@ -218,7 +220,7 @@ class ParallelExecutor:
                 max_workers=self.jobs,
                 mp_context=self._mp_context,
                 initializer=_init_worker,
-                initargs=(self._configs, self._core),
+                initargs=(self._configs, self._core, self._core_options),
             )
         return self._pool
 

@@ -62,7 +62,11 @@ from repro.experiments.spec import (
 )
 from repro.gpu import GPU, get_config, table_i_generations
 from repro.gpu.config import GPUConfig
-from repro.simt.backend import core_backend_is_exact
+from repro.simt.backend import (
+    core_backend_is_exact,
+    resolve_reference_core,
+    validate_core_options,
+)
 from repro.utils.errors import ExperimentError
 from repro.workloads import create_workload
 from repro.workloads.base import Workload
@@ -137,6 +141,12 @@ class Session:
         of the CLI's ``--core`` flag.  ``core_backend=`` is accepted as
         an equivalent alias (matching the :class:`GPUConfig` field
         name); passing both with different values is an error.
+    core_options:
+        Backend-specific options applied alongside ``core`` (the
+        programmatic face of ``--core name:key=value``), e.g.
+        ``Session(core="estimator", core_options={"time_quantum": 16})``.
+        Keys are validated eagerly against the backend's declared
+        options; requires ``core`` to be set.
     reference_core:
         **Deprecated** boolean predecessor of ``core``.
         ``Session(reference_core=True)`` still works: it emits a
@@ -159,7 +169,8 @@ class Session:
                  core: Optional[str] = None,
                  reference_core: bool = False,
                  store: Union[None, str, os.PathLike, Any] = None,
-                 core_backend: Optional[str] = None) -> None:
+                 core_backend: Optional[str] = None,
+                 core_options: Optional[Mapping[str, Any]] = None) -> None:
         self.cache_enabled = cache
         if core_backend is not None:
             # ``core_backend=`` is a first-class alias for ``core=`` so
@@ -170,21 +181,24 @@ class Session:
                     f"core_backend={core_backend!r}"
                 )
             core = core_backend
-        if reference_core:
-            import warnings
-
-            warnings.warn(
-                "Session(reference_core=True) is deprecated; use "
-                "Session(core='reference')",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if core is not None and core != "reference":
-                raise ExperimentError(
-                    f"core={core!r} conflicts with reference_core=True"
-                )
-            core = "reference"
+        core = resolve_reference_core(
+            core, reference_core,
+            owner="Session(reference_core=True)",
+            replacement="core='reference'",
+            conflict_error=ExperimentError,
+            stacklevel=3,
+        )
         self.core = core
+        self.core_options: Dict[str, Any] = dict(core_options or {})
+        if self.core_options:
+            if core is None:
+                raise ExperimentError(
+                    "core_options requires core= to name the backend "
+                    "the options configure"
+                )
+            # Fail at session construction, not at the first run, so a
+            # typo in an option name surfaces immediately.
+            validate_core_options(core, self.core_options)
         self._cache: Dict[str, RunRecord] = {}
         self._local_configs: Dict[str, GPUConfig] = dict(configs or {})
         self.cache_hits = 0
@@ -221,8 +235,12 @@ class Session:
             config = self._local_configs[name]
         else:
             config = get_config(name)
-        if self.core is not None and config.core_backend != self.core:
-            config = config.replace(core_backend=self.core)
+        if self.core is not None:
+            if config.core_backend != self.core:
+                config = config.replace(core_backend=self.core)
+            if (self.core_options
+                    and dict(config.core_options) != self.core_options):
+                config = config.replace(core_options=self.core_options)
         return config
 
     # ------------------------------------------------------------------
@@ -387,7 +405,8 @@ class Session:
             unique = [specs[indices[0]] for indices in pending.values()]
             with ParallelExecutor(jobs=jobs,
                                   configs=self._local_configs,
-                                  core=self.core) as executor:
+                                  core=self.core,
+                                  core_options=self.core_options) as executor:
                 for completed in executor.imap(unique):
                     indices = pending[completed.spec_hash]
                     record = completed.record

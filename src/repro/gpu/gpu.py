@@ -27,14 +27,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import (Callable, ClassVar, Deque, Dict, Iterable, List, Optional,
+                    Tuple)
 
 from repro.core.tracker import LatencyTracker
 from repro.gpu.config import GPUConfig
 from repro.isa.program import Program
 from repro.memory.globalmem import GlobalMemory
 from repro.memory.subsystem import MemorySystem
-from repro.simt.backend import get_core_backend
+from repro.simt.backend import get_core_backend, validate_core_options
 from repro.simt.core import CTAContext, KernelLaunch, StreamingMultiprocessor
 from repro.utils.errors import ConfigurationError, SimulationError
 from repro.utils.stats import _ATTRIBUTION, StatCounters
@@ -171,6 +172,11 @@ class GPU:
         # straight-line (reference) loop.
         backend = get_core_backend(config.core_backend)
         self.core_backend = backend
+        # Backend options are validated eagerly — an unknown key raises
+        # here, naming the backend and the key, rather than being
+        # silently dropped on the factory floor.
+        core_options = validate_core_options(
+            config.core_backend, getattr(config, "core_options", {}) or {})
         self.memory_system = MemorySystem(
             num_sms=config.num_sms,
             mapping=config.mapping,
@@ -186,6 +192,7 @@ class GPU:
                 memory_system=self.memory_system,
                 global_memory=self.global_memory,
                 tracker=self.tracker,
+                **core_options,
             )
             for sm_id in range(config.num_sms)
         ]
@@ -199,6 +206,7 @@ class GPU:
         # submission-ordered list run_until_idle() will report on.
         self._streams: Dict[int, Deque[LaunchHandle]] = {}
         self._active: List[LaunchHandle] = []
+        self._streams_dirty = True
         self._unreported: List[LaunchHandle] = []
         self._attributing = False
 
@@ -395,11 +403,22 @@ class GPU:
         increment is charged to the kernel that caused it (the memory
         system refines the blanket per request; its own per-cycle work
         stays unattributed).
+
+        When every SM's backend opts in (``supports_device_skip``), the
+        loop runs through :meth:`_drive_skip`, which hoists the per-SM
+        quiescence gate to device level so fully parked SMs are skipped
+        wholesale instead of being polled object-by-object every cycle.
         """
         self._attributing = attribute
         try:
             self._activate_streams()
             self._dispatch_ctas()
+            if self.sms and all(
+                getattr(sm, "supports_device_skip", False)
+                for sm in self.sms
+            ):
+                self._drive_skip(attribute)
+                return
             sms = self.sms
             while True:
                 self.memory_system.cycle(self.cycle)
@@ -423,6 +442,133 @@ class GPU:
         finally:
             self._attributing = False
             _ATTRIBUTION[0] = None
+
+    def _drive_skip(self, attribute: bool) -> None:
+        """Device-level skip variant of the cycle loop (vector backends).
+
+        Mirrors each SM's cached wake time (``sm._sm_wake``) in a local
+        array so a fully parked SM costs one comparison and one deque
+        truthiness test per cycle — no method call, no per-cycle stats
+        increment.  A skipped quiescent cycle's only observable effect
+        is the per-scheduler issue-idle counters; those are accumulated
+        per SM (``pending``) together with the attribution target
+        resident at the start of the skip window (constant throughout
+        it: retirement happens only inside the body and CTA dispatch
+        resyncs the wake mirror) and flushed in one batched increment
+        before the next body run — float counter sums of integer
+        amounts are exact, so totals stay byte-identical to the
+        per-cycle loop.
+        """
+        sms = self.sms
+        num_sms = len(sms)
+        sm_range = range(num_sms)
+        memory = self.memory_system
+        # Wake mirror: refreshed after every body run and after CTA
+        # dispatch (launch_cta resets the SM's own wake to 0).
+        wake: List[float] = [sm._sm_wake for sm in sms]
+        replies = [sm._reply_entries for sm in sms]
+        idle_slots = [sm._slot_idle for sm in sms]
+        idle_widths = [sm._num_schedulers for sm in sms]
+        pending = [0] * num_sms
+        pending_launch: List[Optional[int]] = [None] * num_sms
+
+        def flush(index: int) -> None:
+            count = pending[index]
+            pending[index] = 0
+            if attribute:
+                _ATTRIBUTION[0] = pending_launch[index]
+                sms[index].stats.inc(idle_slots[index],
+                                     idle_widths[index] * count)
+                _ATTRIBUTION[0] = None
+            else:
+                sms[index].stats.inc(idle_slots[index],
+                                     idle_widths[index] * count)
+
+        infinity = float("inf")
+        self._streams_dirty = False  # _drive just ran activation
+        try:
+            while True:
+                now = self.cycle
+                memory.cycle(now)
+                issued = False
+                for index in sm_range:
+                    if now < wake[index] and not replies[index]:
+                        if not pending[index]:
+                            resident = sms[index]._resident_launch
+                            pending_launch[index] = (
+                                resident.launch_id
+                                if resident is not None else None)
+                        pending[index] += 1
+                        continue
+                    sm = sms[index]
+                    if pending[index]:
+                        flush(index)
+                    if attribute:
+                        resident = sm._resident_launch
+                        _ATTRIBUTION[0] = (resident.launch_id
+                                           if resident is not None else None)
+                        issued = sm.cycle(now) or issued
+                        _ATTRIBUTION[0] = None
+                    else:
+                        issued = sm.cycle(now) or issued
+                    wake[index] = sm._sm_wake
+                # Stream activation only changes state after a launch
+                # retires (flagged by _on_cta_retired); submissions
+                # cannot arrive mid-drive.
+                if self._streams_dirty:
+                    self._streams_dirty = False
+                    self._activate_streams()
+                if any(handle.pending_ctas for handle in self._active):
+                    self._dispatch_ctas()
+                    for index in sm_range:
+                        wake[index] = sms[index]._sm_wake
+                if self._all_idle():
+                    break
+                for handle in self._active:
+                    if now - handle.start_cycle > handle.limit:
+                        raise SimulationError(
+                            f"kernel {handle.kernel.program.name!r} "
+                            f"exceeded {handle.limit} cycles"
+                        )
+                hook = type(self)._clock_check_hook
+                if hook is not None:
+                    hook(self, issued)
+                if issued:
+                    self.cycle = now + 1
+                    continue
+                # Inlined _advance_clock: non-stale SMs read their
+                # cached enumeration directly (identical to calling
+                # next_event_time — the cache holds the exact value).
+                best = memory.next_event_time(now)
+                for index in sm_range:
+                    sm = sms[index]
+                    if sm._sm_next_stale:
+                        value = sm.next_event_time(now)
+                        if value is not None and (best is None
+                                                  or value < best):
+                            best = value
+                    else:
+                        value = sm._sm_next
+                        if value <= now:  # defensive; mirrors the cache
+                            refreshed = sm.next_event_time(now)
+                            if refreshed is not None and (
+                                    best is None or refreshed < best):
+                                best = refreshed
+                        elif value != infinity and (best is None
+                                                    or value < best):
+                            best = value
+                if best is None:
+                    raise SimulationError(
+                        "simulation deadlock: nothing issued and no "
+                        "pending events"
+                    )
+                best = int(best)
+                later = now + 1
+                self.cycle = best if best > later else later
+        finally:
+            for index in sm_range:
+                if pending[index]:
+                    flush(index)
 
     def _activate_streams(self) -> None:
         """Activate the head launch of every stream whose turn has come.
@@ -500,6 +646,9 @@ class GPU:
                 queue = self._streams.get(handle.stream)
                 if queue and queue[0] is handle:
                     queue.popleft()
+                # The next head (or the drained queue) needs a pass
+                # through _activate_streams; _drive_skip gates on this.
+                self._streams_dirty = True
             return
 
     def _all_idle(self) -> bool:
@@ -519,7 +668,16 @@ class GPU:
                     f"exceeded {handle.limit} cycles"
                 )
 
+    #: Test/debug seam: when set (on the class) to a callable taking
+    #: ``(gpu, issued)``, it runs at every clock-advance decision of
+    #: both cycle loops — the generic one and ``_drive_skip``, whose
+    #: inlined advance bypasses ``_advance_clock``.
+    _clock_check_hook: ClassVar[Optional[Callable[["GPU", bool], None]]] = None
+
     def _advance_clock(self, issued: bool) -> None:
+        hook = type(self)._clock_check_hook
+        if hook is not None:
+            hook(self, issued)
         if issued:
             self.cycle += 1
             return

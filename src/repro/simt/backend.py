@@ -57,14 +57,54 @@ separately and its results are never served for an exact-core request
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, List
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+)
 
 from repro.utils.errors import ConfigurationError, RegistryError
 from repro.utils.registry import Registry
 
 #: Open registry of simulation-core backends, keyed by backend name.
 CORE_BACKENDS = Registry("core backend")
+
+
+@dataclass(frozen=True)
+class BackendOption:
+    """One construction-time option a core backend accepts.
+
+    Declared on :attr:`CoreBackend.options` so every consumer — the
+    ``GPUConfig.core_options`` validator, the ``--core name:key=value``
+    CLI parser, and the ``repro cores`` listing — shares a single source
+    of truth for what a backend can be configured with.
+
+    Attributes
+    ----------
+    name:
+        Option key, passed to the backend factory as a keyword argument.
+    type:
+        Python type of the value (used to coerce CLI strings and to
+        validate programmatic values).
+    default:
+        Default value when the option is not supplied.  ``None`` means
+        the backend computes a value itself (e.g. the estimator's
+        adaptive time quantum).
+    description:
+        One-line human description (shown by ``repro cores``).
+    """
+
+    name: str
+    type: Type[Any] = int
+    default: Optional[Any] = None
+    description: str = ""
 
 
 @dataclass(frozen=True)
@@ -92,6 +132,11 @@ class CoreBackend:
         free of *all* event-skipping machinery.
     description:
         One-line human description (shown by ``repro cores``).
+    options:
+        The :class:`BackendOption` descriptors this backend accepts via
+        ``GPUConfig.core_options`` / ``--core name:key=value``.  Unknown
+        keys are rejected eagerly at GPU construction (see
+        :func:`validate_core_options`).
     """
 
     name: str
@@ -99,6 +144,7 @@ class CoreBackend:
     exact: bool = True
     reference_memory: bool = False
     description: str = ""
+    options: Tuple[BackendOption, ...] = ()
 
 
 def register_core_backend(backend: CoreBackend) -> CoreBackend:
@@ -140,6 +186,121 @@ def available_core_backends() -> List[str]:
     """Sorted names of all registered core backends."""
     _load_builtin_backends()
     return CORE_BACKENDS.names()
+
+
+def validate_core_options(name: str,
+                          options: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate ``options`` against backend ``name``'s declared options.
+
+    Returns the validated (and type-coerced) option dict.  Unknown keys
+    are rejected eagerly with a :class:`ConfigurationError` naming the
+    backend and the bad key — a silently ignored option would make a
+    run's results lie about how they were produced.  Values are coerced
+    through each option's declared ``type`` so string values from the
+    CLI and config files behave like programmatic ones.
+    """
+    if not options:
+        return {}
+    backend = get_core_backend(name)
+    declared = {option.name: option for option in backend.options}
+    validated: Dict[str, Any] = {}
+    for key in sorted(options):
+        option = declared.get(key)
+        if option is None:
+            accepted = (", ".join(sorted(declared))
+                        if declared else "none")
+            raise ConfigurationError(
+                f"core backend {name!r} does not accept option {key!r} "
+                f"(accepted options: {accepted})"
+            )
+        value = options[key]
+        try:
+            validated[key] = option.type(value)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"core backend {name!r} option {key!r} expects "
+                f"{option.type.__name__}, got {value!r}: {exc}"
+            ) from None
+    return validated
+
+
+def parse_core_spec(spec: str) -> Tuple[str, Dict[str, str]]:
+    """Split a ``name[:key=value,...]`` core spec into name and options.
+
+    This is the CLI grammar behind ``--core estimator:time_quantum=16``:
+    the backend name, optionally followed by ``:`` and a comma-separated
+    list of ``key=value`` options.  Values are returned as strings —
+    :func:`validate_core_options` coerces them through each option's
+    declared type, so the CLI and programmatic paths share one
+    validation/coercion step.  Malformed specs raise
+    :class:`ConfigurationError`.
+    """
+    name, sep, rest = spec.partition(":")
+    if not name:
+        raise ConfigurationError(
+            f"malformed core spec {spec!r}: expected "
+            f"'name' or 'name:key=value[,key=value...]'"
+        )
+    options: Dict[str, str] = {}
+    if sep:
+        for item in rest.split(","):
+            key, eq, value = item.partition("=")
+            if not eq or not key:
+                raise ConfigurationError(
+                    f"malformed core option {item!r} in {spec!r}: "
+                    f"expected key=value"
+                )
+            options[key] = value
+    return name, options
+
+
+#: Uniform deprecation text of the retired ``reference_core`` boolean.
+#: Every shim — ``GPUConfig(reference_core=True)``,
+#: ``Session(reference_core=True)``, ``ParallelExecutor(...)``, and the
+#: CLI's ``--reference-core`` — formats this one template, so the
+#: guidance users see is identical everywhere.
+REFERENCE_CORE_DEPRECATION = "{owner} is deprecated; use {replacement}"
+
+
+def reference_core_message(owner: str, replacement: str) -> str:
+    """The uniform deprecation message for one ``reference_core`` shim."""
+    return REFERENCE_CORE_DEPRECATION.format(owner=owner,
+                                             replacement=replacement)
+
+
+def resolve_reference_core(
+    core: Optional[str],
+    reference_core: bool,
+    *,
+    owner: str,
+    replacement: str,
+    conflict_error: Optional[Type[Exception]] = None,
+    stacklevel: int = 3,
+) -> Optional[str]:
+    """Consolidated shim for the deprecated ``reference_core`` boolean.
+
+    When ``reference_core`` is falsy, returns ``core`` unchanged.
+    Otherwise emits the uniform :class:`DeprecationWarning` (see
+    :func:`reference_core_message`) and returns ``"reference"``; if
+    ``core`` names a *different* backend at the same time, raises
+    ``conflict_error`` (when given) instead of silently preferring one.
+    ``owner``/``replacement`` name the call site, e.g.
+    ``owner="Session(reference_core=True)"``,
+    ``replacement="Session(core='reference')"``.
+    """
+    if not reference_core:
+        return core
+    warnings.warn(
+        reference_core_message(owner, replacement),
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    if core is not None and core != "reference":
+        if conflict_error is not None:
+            raise conflict_error(
+                f"core={core!r} conflicts with reference_core=True"
+            )
+    return "reference"
 
 
 def core_backend_is_exact(name: str) -> bool:

@@ -151,6 +151,15 @@ class StreamingMultiprocessor:
     backend_name = "reference"
     #: Whether this engine is byte-identical to the reference core.
     exact = True
+    #: Whether the GPU may hoist this engine's quiescence gate to device
+    #: level (see :meth:`repro.gpu.gpu.GPU._drive_skip`).  Requires the
+    #: ``_sm_wake``/``_reply_entries`` gate contract of the vector core;
+    #: the straight-line engines run their body every cycle.
+    supports_device_skip = False
+    #: LD/ST unit implementation this engine builds.  Backends may swap
+    #: in a behaviour-identical subclass (the vector core uses the
+    #: batched variant) without touching the construction sequence.
+    ldst_class = LoadStoreUnit
 
     def __init__(
         self,
@@ -169,7 +178,7 @@ class StreamingMultiprocessor:
             create_warp_scheduler(config.warp_scheduler, index)
             for index in range(config.num_schedulers)
         ]
-        self.ldst = LoadStoreUnit(sm_id, config, memory_system, tracker)
+        self.ldst = self.ldst_class(sm_id, config, memory_system, tracker)
         self.ldst.on_load_complete = self._on_load_complete
         self.ctas: Dict[int, CTAContext] = {}
         self._warp_cta: Dict[int, CTAContext] = {}

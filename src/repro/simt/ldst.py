@@ -444,3 +444,272 @@ class LoadStoreUnit:
             combined.merge(self.l1.stats.view(launch_id))
         combined.merge(self.l1_mshr.stats.view(launch_id))
         return combined
+
+
+class BatchedLoadStoreUnit(LoadStoreUnit):
+    """Batch-tuned LD/ST unit used by the vector core backends.
+
+    Behaviour-identical to :class:`LoadStoreUnit` — same queues, same
+    stall conditions, same counter names and values, same tracker events
+    in the same order — but with the per-cycle hot path restructured for
+    throughput:
+
+    * every counter touched per access is a pre-interned
+      :meth:`~repro.utils.stats.StatCounters.slot` increment instead of
+      a string-keyed dict lookup;
+    * per-lane coalescing hands the unique line vector straight to the
+      queue (``ndarray.tolist``) and drops the defensive address/mask
+      copies — the issuing cores construct fresh arrays per memory
+      instruction, so nothing aliases them (callers that reuse buffers
+      must use the base class);
+    * the L1 tag path inlines the cache/MSHR/miss-queue probes (line
+      math, set lookup, capacity checks) that the base class reaches
+      through one method call each;
+    * response draining tests the raw reply deque the memory system
+      exposes for quiescence gating instead of polling ``pop_response``
+      until it returns ``None``.
+
+    Byte-identity with the base unit across the golden workloads is
+    pinned by ``tests/test_simt_ldst.py`` and the golden-equivalence
+    suite (the vector core runs this unit everywhere).
+    """
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: CoreConfig,
+        memory_system: MemorySystem,
+        tracker: LatencyTracker,
+    ) -> None:
+        super().__init__(sm_id, config, memory_system, tracker)
+        stats = self.stats
+        self._s_coalesced = stats.slot("coalesced_accesses")
+        self._s_accepted = stats.slot("instructions_accepted")
+        self._s_responses = stats.slot("responses")
+        self._s_missq_stall = stats.slot("miss_queue_stall_cycles")
+        self._s_merge_stall = stats.slot("mshr_merge_stall_cycles")
+        self._s_mshr_full_stall = stats.slot("mshr_full_stall_cycles")
+        self._s_stage_full = stats.slot("l1_stage_full_cycles")
+        self._s_icnt_stall = stats.slot("icnt_stall_cycles")
+        self._s_mshr_merges = stats.slot("mshr_merges")
+        if self.l1 is not None:
+            self._s_l1_misses = self.l1.stats.slot("misses")
+            self._s_l1_hits = self.l1.stats.slot("hits")
+            self._l1_sets = self.l1._sets
+            self._l1_num_sets = self.l1.geometry.num_sets
+        self._caches_local = config.l1.caches_space(True)
+        self._caches_global = config.l1.caches_space(False)
+        self._mshr_entries = self.l1_mshr._entries
+        self._mshr_capacity = self.l1_mshr.num_entries
+        self._mshr_max_merged = self.l1_mshr.max_merged
+        self._miss_entries = self.miss_queue.raw()
+        self._miss_capacity = self.miss_queue.capacity
+        self._miss_unbounded = self.miss_queue.unbounded
+        self._inject_rate = config.icnt_inject_rate
+        self._reply_entries = memory_system.response_entries(sm_id)
+        self._hit_delay = config.l1.hit_latency + config.writeback_latency
+        self._sm_base = config.sm_base_latency
+
+    def _miss_queue_full(self) -> bool:
+        return (not self._miss_unbounded
+                and len(self._miss_entries) >= self._miss_capacity)
+
+    # ------------------------------------------------------------------
+    # Issue-side interface
+    # ------------------------------------------------------------------
+    def issue(
+        self,
+        warp: Warp,
+        instruction: Instruction,
+        addresses: np.ndarray,
+        mask: np.ndarray,
+        now: int,
+    ) -> Optional[LoadToken]:
+        token: Optional[LoadToken] = None
+        if instruction.is_load:
+            token = LoadToken(warp, instruction, now, instruction.space)
+        lines: List[int] = []
+        if instruction.space is not MemSpace.SHARED:
+            active = addresses[mask].astype(np.int64)
+            if len(active):
+                unique = np.unique(
+                    (active // self.line_size) * self.line_size)
+                lines = unique.tolist()
+                self.stats.inc(self._s_coalesced, len(lines))
+        if token is not None:
+            if instruction.space is MemSpace.SHARED or lines:
+                token.expected = max(len(lines), 1)
+            else:
+                token.expected = 1
+                heapq.heappush(
+                    self._writebacks,
+                    (self._stamp(now + 1), next(self._sequence), None, token,
+                     True),
+                )
+        if (instruction.space is MemSpace.SHARED or lines
+                or instruction.is_store):
+            # No address/mask copies: the vector core hands the unit
+            # freshly built arrays every issue (see class docstring).
+            self.instruction_queue.append(
+                PendingMemoryInstruction(warp, instruction, addresses,
+                                         mask, token, lines)
+            )
+        self.stats.inc(self._s_accepted)
+        return token
+
+    # ------------------------------------------------------------------
+    # Backend processing
+    # ------------------------------------------------------------------
+    def cycle(self, now: int) -> None:
+        if self._reply_entries:
+            self._accept_responses(now)
+        if self.l1_access_queue:
+            self._access_l1(now)
+        if self._miss_entries:
+            self._drain_miss_queue(now)
+        if self.instruction_queue:
+            self._generate_accesses(now)
+
+    def _accept_responses(self, now: int) -> None:
+        replies = self._reply_entries
+        pop_response = self.memory_system.pop_response
+        while replies:
+            self._handle_response(pop_response(self.sm_id), now)
+
+    def _access_l1(self, now: int) -> None:
+        queue = self.l1_access_queue
+        ready_time, request = queue[0]
+        if ready_time > now:
+            return
+        tracker = self.tracker
+        if tracker.enabled:
+            request.timestamps[Event.L1_ACCESS] = now
+        stats = self.stats
+        space = request.space
+        caches = (self._caches_local if space is MemSpace.LOCAL
+                  else self._caches_global)
+        l1 = self.l1
+        if request.is_write:
+            if self._miss_queue_full():
+                stats.inc(self._s_missq_stall)
+                return
+            queue.popleft()
+            if caches and l1 is not None:
+                l1.invalidate(request.address)
+            self.miss_queue.push(request)
+            return
+        if not caches or l1 is None:
+            if self._miss_queue_full():
+                stats.inc(self._s_missq_stall)
+                return
+            queue.popleft()
+            self.miss_queue.push(request)
+            return
+        address = request.address
+        line = (address // self.line_size) * self.line_size
+        ways = self._l1_sets[(address // self.line_size) % self._l1_num_sets]
+        if line in ways:
+            queue.popleft()
+            # Inlined SetAssociativeCache.access hit path: LRU refresh
+            # plus the hit counter (identical counters and order).
+            ways.remove(line)
+            ways.append(line)
+            l1.stats.inc(self._s_l1_hits)
+            request.l1_hit = True
+            complete = now + self._hit_delay
+            if self.time_quantum > 1:
+                complete = self._stamp(complete)
+            heapq.heappush(
+                self._writebacks,
+                (complete, next(self._sequence), request,
+                 request.load_token, True),
+            )
+            return
+        entry = self._mshr_entries.get(line)
+        if entry is not None:
+            if len(entry.merged) < self._mshr_max_merged:
+                queue.popleft()
+                l1.stats.inc(self._s_l1_misses)
+                self.l1_mshr.merge(line, request)
+                stats.inc(self._s_mshr_merges)
+            else:
+                stats.inc(self._s_merge_stall)
+            return
+        if len(self._mshr_entries) >= self._mshr_capacity:
+            stats.inc(self._s_mshr_full_stall)
+            return
+        if self._miss_queue_full():
+            stats.inc(self._s_missq_stall)
+            return
+        queue.popleft()
+        l1.stats.inc(self._s_l1_misses)
+        self.l1_mshr.allocate(line, request)
+        self.miss_queue.push(request)
+
+    def _drain_miss_queue(self, now: int) -> None:
+        entries = self._miss_entries
+        for _ in range(self._inject_rate):
+            if not entries:
+                return
+            if not self.memory_system.try_inject(self.sm_id, entries[0],
+                                                 now):
+                self.stats.inc(self._s_icnt_stall)
+                return
+            self.miss_queue.pop()
+
+    def _generate_accesses(self, now: int) -> None:
+        pending = self.instruction_queue[0]
+        if pending.is_shared:
+            self.instruction_queue.popleft()
+            self._process_shared(pending, now)
+            return
+        remaining = pending.remaining_lines
+        if not remaining:
+            self.instruction_queue.popleft()
+            return
+        if len(self.l1_access_queue) >= self.L1_STAGE_DEPTH:
+            self.stats.inc(self._s_stage_full)
+            return
+        line = remaining.pop(0)
+        request = MemoryRequest(
+            address=line,
+            size=self.line_size,
+            is_write=pending.instruction.is_store,
+            space=pending.instruction.space,
+            sm_id=self.sm_id,
+            warp_id=pending.warp.warp_id,
+            pc=pending.instruction.pc,
+            tracked=True,
+            load_token=pending.token,
+            launch_id=pending.warp.launch_id,
+        )
+        if self.tracker.enabled:
+            request.timestamps[Event.ISSUE] = now
+        ready = now + self._sm_base
+        if self.time_quantum > 1:
+            ready = self._stamp(ready)
+        self.l1_access_queue.append((ready, request))
+        if not remaining:
+            self.instruction_queue.popleft()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def next_event_time(self, now: int) -> Optional[int]:
+        later = now + 1
+        best = None
+        writebacks = self._writebacks
+        if writebacks:
+            time = writebacks[0][0]
+            best = time if time > later else later
+        queue = self.l1_access_queue
+        if queue:
+            time = queue[0][0]
+            if time < later:
+                time = later
+            if best is None or time < best:
+                best = time
+        if self._miss_entries or self.instruction_queue:
+            if best is None or later < best:
+                best = later
+        return best

@@ -93,6 +93,13 @@ def config_fingerprint(configs: Iterable[Any]) -> str:
     never served for an exact-core request.  The legacy
     ``reference_core`` boolean is normalized to ``False`` for the same
     reason (it only ever selected between two exact cores).
+
+    ``core_options`` take part in the hash verbatim: options tune a
+    backend's behavior (e.g. the estimator's ``time_quantum``), so two
+    option sets are two result spaces.  Backend-name canonicalization
+    therefore applies only when ``core_options`` is empty — an exact
+    backend carrying options (none exist today; registration would
+    reject the options) is conservatively keyed under its own name.
     """
     from repro.simt.backend import core_backend_is_exact
 
@@ -102,6 +109,7 @@ def config_fingerprint(configs: Iterable[Any]) -> str:
             config = config.replace(reference_core=False)
         backend = getattr(config, "core_backend", None)
         if (backend is not None and backend != "fast"
+                and not getattr(config, "core_options", None)
                 and core_backend_is_exact(backend)):
             config = config.replace(core_backend="fast")
         digest.update(repr(config).encode("utf-8"))

@@ -195,3 +195,131 @@ class TestEstimatorLabelling:
         record = Session(cache=False, core=core).run(spec)
         assert "core" not in record.payload
         assert "estimated_cycles" not in record.payload
+
+
+class TestBackendOptions:
+    """The first-class backend-options surface (ISSUE 10 tentpole)."""
+
+    def test_estimator_declares_time_quantum(self):
+        backend = get_core_backend("estimator")
+        assert [option.name for option in backend.options] == ["time_quantum"]
+        option = backend.options[0]
+        assert option.type is int
+        assert option.default is None  # adaptive
+        assert option.description
+
+    def test_exact_backends_declare_no_options(self):
+        for name in ("reference", "fast", "vector"):
+            assert get_core_backend(name).options == ()
+
+    def test_unknown_option_names_backend_and_key(self):
+        from repro.simt.backend import validate_core_options
+
+        with pytest.raises(ConfigurationError) as err:
+            validate_core_options("estimator", {"quantum": 8})
+        message = str(err.value)
+        assert "estimator" in message
+        assert "quantum" in message
+        assert "time_quantum" in message  # lists the accepted options
+
+    def test_config_rejects_unknown_option_eagerly(self):
+        """The bad key fails at config construction, not first run."""
+        with pytest.raises(ConfigurationError, match="time_quantum"):
+            make_fast_config(core_backend="vector",
+                             core_options={"time_quantum": 8})
+
+    def test_config_coerces_and_sorts_options(self):
+        config = make_fast_config(core_backend="estimator",
+                                  core_options={"time_quantum": "16"})
+        assert config.core_options == {"time_quantum": 16}
+
+    def test_unregistered_backend_defers_option_validation(self):
+        """Unknown backends keep their options; the full unknown-backend
+        diagnostic fires at GPU construction as before."""
+        config = make_fast_config(core_backend="someday",
+                                  core_options={"x": 1})
+        assert config.core_options == {"x": 1}
+        with pytest.raises(ConfigurationError, match="someday"):
+            GPU(config)
+
+    def test_option_reaches_ldst_unit(self):
+        gpu = GPU(make_fast_config(core_backend="estimator",
+                                   core_options={"time_quantum": 16}))
+        assert all(sm.ldst.time_quantum == 16 for sm in gpu.sms)
+
+    def test_default_quantum_is_adaptive(self):
+        from repro.simt.vector import adaptive_time_quantum
+
+        gpu = GPU(make_fast_config(core_backend="estimator"))
+        expected = adaptive_time_quantum(gpu.memory_system)
+        assert all(sm.ldst.time_quantum == expected for sm in gpu.sms)
+
+    def test_adaptive_quantum_scales_with_latencies(self):
+        """Slower memory quantizes coarser — the quantum tracks the
+        fastest service path, not a fixed cycle count."""
+        from repro.simt.vector import adaptive_time_quantum
+
+        base = GPU(make_fast_config(core_backend="estimator"))
+        slowed = GPU(make_fast_config(core_backend="estimator").derive({
+            "partition.l2.hit_latency": 197,
+            "partition.dram.service_pad": 548,
+        }))
+        fast_quantum = adaptive_time_quantum(base.memory_system)
+        slow_quantum = adaptive_time_quantum(slowed.memory_system)
+        assert slow_quantum > fast_quantum
+        assert slow_quantum == 8  # the calibrated presets' long-tested value
+
+
+class TestParseCoreSpec:
+    """CLI core specs: ``name`` or ``name:key=value[,key=value...]``."""
+
+    def test_plain_name(self):
+        from repro.simt.backend import parse_core_spec
+
+        assert parse_core_spec("fast") == ("fast", {})
+
+    def test_single_option(self):
+        from repro.simt.backend import parse_core_spec
+
+        assert parse_core_spec("estimator:time_quantum=16") == (
+            "estimator", {"time_quantum": "16"})
+
+    def test_multiple_options(self):
+        from repro.simt.backend import parse_core_spec
+
+        name, options = parse_core_spec("x:a=1,b=2")
+        assert name == "x"
+        assert options == {"a": "1", "b": "2"}
+
+    @pytest.mark.parametrize("spec", [":a=1", "estimator:foo",
+                                      "estimator:=5", "estimator:"])
+    def test_malformed_specs_rejected(self, spec):
+        from repro.simt.backend import parse_core_spec
+
+        with pytest.raises(ConfigurationError):
+            parse_core_spec(spec)
+
+
+class TestShimUniformity:
+    """All three ``reference_core`` shims share one helper and one
+    message shape: ``"<owner> is deprecated; use <replacement>"``."""
+
+    def test_gpu_config_shim_message(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"GPUConfig\(reference_core=True\) is "
+                                r"deprecated; use core_backend='reference'"):
+            make_fast_config(reference_core=True)
+
+    def test_session_shim_message(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"Session\(reference_core=True\) is "
+                                r"deprecated; use core='reference'"):
+            Session(reference_core=True)
+
+    def test_parallel_executor_shim_message(self):
+        from repro.experiments.parallel import ParallelExecutor
+
+        with pytest.warns(DeprecationWarning,
+                          match=r"ParallelExecutor\(reference_core=True\) is "
+                                r"deprecated; use core='reference'"):
+            ParallelExecutor(jobs=1, reference_core=True)

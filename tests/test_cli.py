@@ -204,6 +204,50 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "warpdrive" in err
 
+    def test_core_spec_with_options(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--param", "n=128", "--buckets", "8",
+            "--core", "estimator:time_quantum=16",
+        ]) == 0
+        assert "vecadd" in capsys.readouterr().out
+
+    def test_core_spec_unknown_option_rejected(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--core", "estimator:quantum=16",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "estimator" in err
+        assert "quantum" in err
+
+    def test_core_spec_malformed_rejected(self, capsys):
+        assert main([
+            "dynamic", "--config", "gf100", "--workload", "vecadd",
+            "--core", "estimator:time_quantum",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "time_quantum" in err
+        assert "key=value" in err
+
+    def test_cores_json_lists_backend_options(self, capsys):
+        assert main(["cores", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        by_name = {core["name"]: core for core in report["cores"]}
+        estimator_options = by_name["estimator"]["options"]
+        assert [option["name"] for option in estimator_options] == [
+            "time_quantum"]
+        option = estimator_options[0]
+        assert option["type"] == "int"
+        assert option["default"] is None
+        assert option["description"]
+        assert by_name["fast"]["options"] == []
+
+    def test_cores_table_lists_backend_options(self, capsys):
+        assert main(["cores"]) == 0
+        output = capsys.readouterr().out
+        assert "time_quantum" in output
+
     def test_reference_core_flag_deprecated_alias(self, capsys):
         assert main([
             "dynamic", "--config", "gf100", "--workload", "vecadd",

@@ -233,21 +233,24 @@ class TestLimitsAndClock:
             gpu.run_until_idle()
 
     @pytest.mark.parametrize("core", ("fast", "vector"))
-    def test_advance_clock_never_moves_backwards(self, core):
+    def test_advance_clock_never_moves_backwards(self, core, monkeypatch):
         gpu = make_gpu(core)
         observed = []
-        original = gpu._advance_clock
 
-        def recording(issued):
-            before = gpu.cycle
-            original(issued)
-            observed.append((before, gpu.cycle))
+        # The hook fires at every clock-advance decision of both cycle
+        # loops (generic and device-skip), just before the clock moves;
+        # a strictly increasing decision-cycle sequence is exactly
+        # "the clock never moves backwards".
+        def recording(gpu_obj, issued):
+            observed.append(gpu_obj.cycle)
 
-        gpu._advance_clock = recording
+        monkeypatch.setattr(type(gpu), "_clock_check_hook",
+                            staticmethod(recording))
         create_workload("pointer_chase", footprint_bytes=2048,
                         stride_bytes=128, n_accesses=32).run(gpu)
         assert observed
-        assert all(after > before for before, after in observed)
+        assert all(after > before
+                   for before, after in zip(observed, observed[1:]))
 
 
 class TestScenarioExperiments:

@@ -337,6 +337,16 @@ class TestSmoke:
                                         * report["core_count"])
         assert report["all_verified"]
         assert all(run["cycles"] > 0 for run in report["runs"])
+        # The estimator accuracy leg rides along without inflating the
+        # exact matrix's counts, and holds its documented error bound
+        # across the whole registry cross product.
+        estimator = report["estimator"]
+        assert estimator["cell_count"] == (report["workload_count"]
+                                           * report["config_count"])
+        assert estimator["within_bound"]
+        assert estimator["worst_error"] <= estimator["bound"]
+        assert all(cell["time_quantum"] >= 1
+                   for cell in estimator["cells"])
         # JSON-native end to end.
         json.dumps(report)
 
